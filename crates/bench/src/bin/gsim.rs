@@ -1,0 +1,239 @@
+//! `gsim` — command-line front-end to the GPU timing simulator.
+//!
+//! ```text
+//! gsim list
+//! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak]
+//! gsim mcm <benchmark> [--chiplets C] [--scale D]
+//! gsim mrc <benchmark> [--scale D]
+//! gsim trace-dump <benchmark> -o <file> [--scale D]
+//! gsim trace-run <file> [--sms N] [--scale D]
+//! ```
+//!
+//! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
+//! input matched to `--sms`); `trace-dump`/`trace-run` exercise the
+//! trace-driven front-end; `mrc` prints the functional miss-rate curve
+//! with region labels.
+
+use std::fs::File;
+use std::process::exit;
+
+use gsim_core::{detect_cliff, SizedMrc};
+use gsim_sim::{collect_mrc, ChipletConfig, GpuConfig, SimStats, Simulator};
+use gsim_trace::suite::{strong_benchmark, strong_suite};
+use gsim_trace::weak::{weak_benchmark, weak_suite};
+use gsim_trace::{MemScale, TracedWorkload, WorkloadModel};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gsim list\n  gsim run <benchmark> [--sms N] [--scale D] \
+         [--banked-dram BANKS] [--weak]\n  gsim mcm <benchmark> [--chiplets C] [--scale D]\n  \
+         gsim mrc <benchmark> [--scale D]\n  gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
+         gsim trace-run <file> [--sms N] [--scale D]"
+    );
+    exit(2)
+}
+
+struct Flags {
+    sms: u32,
+    chiplets: u32,
+    scale: MemScale,
+    banked_dram: u32,
+    weak: bool,
+    output: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Flags {
+    let mut f = Flags {
+        sms: 32,
+        chiplets: 4,
+        scale: MemScale::default(),
+        banked_dram: 0,
+        weak: false,
+        output: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u32 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} takes an integer");
+                    exit(2)
+                })
+        };
+        match a.as_str() {
+            "--sms" => f.sms = num("--sms"),
+            "--chiplets" => f.chiplets = num("--chiplets"),
+            "--scale" => f.scale = MemScale::new(num("--scale")),
+            "--banked-dram" => f.banked_dram = num("--banked-dram"),
+            "--weak" => f.weak = true,
+            "-o" | "--output" => f.output = it.next().cloned(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    f
+}
+
+fn print_stats(label: &str, st: &SimStats) {
+    println!("{label}:");
+    println!("  cycles            {:>14}", st.cycles);
+    println!("  thread instrs     {:>14}", st.thread_instrs);
+    println!("  IPC               {:>14.1}", st.ipc());
+    println!("  sustained IPC     {:>14.1}", st.sustained_ipc());
+    println!("  LLC accesses      {:>14}", st.llc_accesses);
+    println!("  LLC MPKI          {:>14.2}", st.mpki());
+    println!("  L1 miss rate      {:>14.2}", st.l1_miss_rate());
+    println!("  f_mem             {:>14.2}", st.f_mem());
+    println!("  f_idle            {:>14.2}", st.f_idle());
+    println!("  DRAM bytes        {:>14}", st.dram_bytes);
+    println!("  CTAs / kernels    {:>9} / {:<4}", st.ctas_executed, st.kernels_executed);
+    println!("  simulated in      {:>12.2} s", st.sim_wall_seconds);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let f = parse(&args[1..]);
+    match cmd.as_str() {
+        "list" => {
+            println!("strong-scaling benchmarks (Table II):");
+            for b in strong_suite(f.scale) {
+                println!(
+                    "  {:>6}  {:<38} {:>8.1} MB  {}",
+                    b.abbr,
+                    b.full_name,
+                    b.workload.footprint_mb_paper(),
+                    b.expected
+                );
+            }
+            println!("\nweak-scaling benchmarks (Table IV):");
+            for b in weak_suite(f.scale) {
+                println!("  {:>6}  {}", b.abbr, b.expected);
+            }
+        }
+        "run" => {
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            let wl = if f.weak {
+                weak_benchmark(name, f.scale)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown weak benchmark {name}");
+                        exit(2)
+                    })
+                    .workload_for_sms(f.sms)
+            } else {
+                strong_benchmark(name, f.scale)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown benchmark {name}; try `gsim list`");
+                        exit(2)
+                    })
+                    .workload
+            };
+            let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
+            cfg.dram_banks_per_mc = f.banked_dram;
+            let st = Simulator::new(cfg, &wl).run();
+            print_stats(&format!("{name} on {} SMs ({})", f.sms, f.scale), &st);
+        }
+        "mcm" => {
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            let bench = weak_benchmark(name, f.scale).unwrap_or_else(|| {
+                eprintln!("unknown weak benchmark {name}");
+                exit(2)
+            });
+            let wl = bench.workload_for_chiplets(f.chiplets);
+            let mcm = ChipletConfig::paper_mcm(f.chiplets, f.scale);
+            let st = Simulator::new_mcm(&mcm, &wl).run();
+            print_stats(
+                &format!(
+                    "{name} on {} chiplets = {} SMs ({})",
+                    f.chiplets,
+                    mcm.total_sms(),
+                    f.scale
+                ),
+                &st,
+            );
+        }
+        "mrc" => {
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            let bench = strong_benchmark(name, f.scale).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name}");
+                exit(2)
+            });
+            let sizes = [8u32, 16, 32, 64, 128];
+            let configs: Vec<GpuConfig> = sizes
+                .iter()
+                .map(|&z| GpuConfig::paper_target(z, f.scale))
+                .collect();
+            let curve = collect_mrc(&bench.workload, &configs);
+            let mrc = SizedMrc::new(
+                sizes
+                    .iter()
+                    .zip(curve.points())
+                    .map(|(&z, p)| (z, p.mpki)),
+            );
+            println!("{name} miss-rate curve:");
+            for ((size, region), cfg) in mrc.regions().iter().zip(&configs) {
+                println!(
+                    "  {:>3} SMs  {:>7.3} MB  MPKI {:>7.2}   {:?}",
+                    size,
+                    cfg.llc_paper_bytes() as f64 / (1024.0 * 1024.0),
+                    mrc.mpki_at(*size).expect("sampled"),
+                    region
+                );
+            }
+            match detect_cliff(&mrc) {
+                Some(i) => println!(
+                    "cliff between {} and {} SMs",
+                    mrc.points()[i].0,
+                    mrc.points()[i + 1].0
+                ),
+                None => println!("no cliff detected"),
+            }
+        }
+        "trace-dump" => {
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            let out = f.output.unwrap_or_else(|| format!("{name}.gstr"));
+            let bench = strong_benchmark(name, f.scale).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name}");
+                exit(2)
+            });
+            let file = File::create(&out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            let bytes = gsim_trace::write_trace(&bench.workload, file).unwrap_or_else(|e| {
+                eprintln!("trace write failed: {e}");
+                exit(1)
+            });
+            println!(
+                "wrote {out}: {bytes} bytes, {} warp instructions ({:.2} B/instr)",
+                bench.workload.approx_warp_instrs(),
+                bytes as f64 / bench.workload.approx_warp_instrs() as f64
+            );
+        }
+        "trace-run" => {
+            let path = f.positional.first().unwrap_or_else(|| usage());
+            let file = File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                exit(1)
+            });
+            let traced = TracedWorkload::read(file).unwrap_or_else(|e| {
+                eprintln!("bad trace {path}: {e}");
+                exit(1)
+            });
+            let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
+            cfg.dram_banks_per_mc = f.banked_dram;
+            let st = Simulator::new(cfg, &traced).run();
+            print_stats(
+                &format!("trace {} on {} SMs ({})", traced.name(), f.sms, f.scale),
+                &st,
+            );
+        }
+        _ => usage(),
+    }
+}

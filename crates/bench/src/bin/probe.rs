@@ -1,0 +1,47 @@
+//! Scratch probe: scaling shapes for selected benchmarks (dev tool).
+
+use gsim_sim::{collect_mrc, GpuConfig, Simulator};
+use gsim_trace::suite::strong_suite;
+use gsim_trace::MemScale;
+
+fn main() {
+    let scale = MemScale::default();
+    let sizes = [8u32, 16, 32, 64, 128];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pick: Vec<&str> = if args.is_empty() {
+        vec!["dct", "bfs", "pf"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let configs: Vec<GpuConfig> = sizes
+        .iter()
+        .map(|&s| GpuConfig::paper_target(s, scale))
+        .collect();
+    for b in strong_suite(scale) {
+        if !pick.contains(&b.abbr) {
+            continue;
+        }
+        println!("=== {} (expect {}) ===", b.abbr, b.expected);
+        let t0 = std::time::Instant::now();
+        let mrc = collect_mrc(&b.workload, &configs);
+        println!("  mrc ({:.2}s): {}", t0.elapsed().as_secs_f64(), mrc);
+        let mut prev = 0.0;
+        for cfg in &configs {
+            let t0 = std::time::Instant::now();
+            let st = Simulator::new(cfg.clone(), &b.workload).run();
+            let ratio = if prev > 0.0 { st.ipc() / prev } else { 0.0 };
+            prev = st.ipc();
+            println!(
+                "  {:>3} SMs: IPC {:8.1} (x{:.2})  mpki {:6.2}  f_mem {:.2}  f_idle {:.2}  cyc {:>9}  [{:.2}s]",
+                cfg.n_sms,
+                st.ipc(),
+                ratio,
+                st.mpki(),
+                st.f_mem(),
+                st.f_idle(),
+                st.cycles,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Ablation studies on the methodology's design choices.
+//!
+//! Three knobs the paper fixes by design are varied here to show *why*
+//! they are fixed that way:
+//!
+//! * [`ScaleModelStyle`] — Section II's central rule is that scale
+//!   models must scale the *shared* resources proportionally. The
+//!   ablation builds scale models that violate the rule (full-size LLC,
+//!   or full-size NoC/DRAM bandwidth) and measures how target-system
+//!   prediction degrades.
+//! * [`cliff_threshold_sweep`] — Section V.C defines a cliff as a >2×
+//!   MPKI drop per doubling; the sweep shows how detection behaves at
+//!   1.5×–4×.
+//! * [`ablate_f_mem_source`] — Eq. (3) uses the *largest* scale model's
+//!   memory-stall fraction; the ablation compares using the smallest's.
+
+use gsim_sim::{collect_mrc, GpuConfig, Simulator};
+use gsim_trace::suite::StrongBenchmark;
+use gsim_trace::MemScale;
+
+use crate::cliff::{detect_cliff_with, SizedMrc};
+use crate::error::ModelError;
+use crate::percent_error;
+use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
+
+/// How the scale models' shared resources are derived from the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleModelStyle {
+    /// The paper's rule: everything shared scales with SM count.
+    Proportional,
+    /// Violation: scale models keep the *target's* full LLC capacity
+    /// (and slice count) — interference in the cache disappears and
+    /// cliffs are invisible.
+    FullSizeLlc,
+    /// Violation: scale models keep the target's full NoC and DRAM
+    /// bandwidth — bandwidth pressure disappears.
+    FullBandwidth,
+}
+
+impl ScaleModelStyle {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScaleModelStyle::Proportional => "proportional (paper)",
+            ScaleModelStyle::FullSizeLlc => "full-size LLC",
+            ScaleModelStyle::FullBandwidth => "full bandwidth",
+        }
+    }
+
+    /// Builds the scale-model configuration of `n_sms` SMs under this
+    /// style. Violating styles copy the shared resource from `anchor_sms`
+    /// — the *largest* system of interest — because scale models are a
+    /// one-time cost reused across many targets; a capacity- or
+    /// bandwidth-rich model built for the biggest target is exactly what
+    /// a practitioner violating the proportionality rule would build.
+    pub fn config(&self, n_sms: u32, anchor_sms: u32, scale: MemScale) -> GpuConfig {
+        let target = GpuConfig::paper_target(anchor_sms, scale);
+        let proportional = target.scaled_to(n_sms);
+        match self {
+            ScaleModelStyle::Proportional => proportional,
+            ScaleModelStyle::FullSizeLlc => GpuConfig {
+                llc_bytes_total: target.llc_bytes_total,
+                llc_slices: target.llc_slices,
+                ..proportional
+            },
+            ScaleModelStyle::FullBandwidth => GpuConfig {
+                noc_gbs: target.noc_gbs,
+                n_mcs: target.n_mcs,
+                ..proportional
+            },
+        }
+    }
+}
+
+/// Result of one scale-model-style ablation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleAblation {
+    /// The style under test.
+    pub style: ScaleModelStyle,
+    /// Measured scale-model IPCs (8- and 16-SM models built in `style`).
+    pub ipc_models: (f64, f64),
+    /// Prediction for the target, from those models.
+    pub predicted: f64,
+    /// Ground truth from simulating the (always unmodified) target.
+    pub real: f64,
+    /// Prediction error in percent.
+    pub error_pct: f64,
+}
+
+/// Runs the scale-model-style ablation for one benchmark and target.
+///
+/// # Errors
+///
+/// Propagates predictor construction failures.
+pub fn ablate_scale_model_style(
+    bench: &StrongBenchmark,
+    scale: MemScale,
+    target_sms: u32,
+    style: ScaleModelStyle,
+) -> Result<StyleAblation, ModelError> {
+    const ANCHOR_SMS: u32 = 128;
+    let cfg8 = style.config(8, ANCHOR_SMS, scale);
+    let cfg16 = style.config(16, ANCHOR_SMS, scale);
+    let ipc8 = Simulator::new(cfg8.clone(), &bench.workload)
+        .run()
+        .sustained_ipc();
+    let s16 = Simulator::new(cfg16.clone(), &bench.workload).run();
+    let ipc16 = s16.sustained_ipc();
+
+    // The miss-rate curve is collected over the *style's* capacity ladder
+    // up to the target — with a full-size LLC every point is the target
+    // capacity, which is exactly how the violation blinds the method.
+    let mut ladder = vec![cfg8, cfg16];
+    let mut sms = 32;
+    while sms <= target_sms {
+        ladder.push(style.config(sms, ANCHOR_SMS, scale));
+        sms *= 2;
+    }
+    let curve = collect_mrc(&bench.workload, &ladder);
+    let sizes: Vec<u32> = std::iter::successors(Some(8u32), |&s| Some(s * 2))
+        .take(ladder.len())
+        .collect();
+    let mrc = SizedMrc::new(
+        sizes
+            .iter()
+            .zip(curve.points())
+            .map(|(&s, p)| (s, p.mpki)),
+    );
+    let predictor = ScaleModelPredictor::new(
+        ScaleModelInputs::new(8, ipc8, 16, ipc16)
+            .with_sized_mrc(mrc)
+            .with_f_mem(s16.f_mem()),
+    )?;
+    let predicted = predictor.predict_checked(target_sms)?;
+    let real = Simulator::new(GpuConfig::paper_target(target_sms, scale), &bench.workload)
+        .run()
+        .sustained_ipc();
+    Ok(StyleAblation {
+        style,
+        ipc_models: (ipc8, ipc16),
+        predicted,
+        real,
+        error_pct: percent_error(predicted, real),
+    })
+}
+
+/// Sweeps the cliff-detection threshold over a miss-rate curve; returns
+/// `(threshold, detected_cliff_upper_size)` per threshold.
+pub fn cliff_threshold_sweep(mrc: &SizedMrc, thresholds: &[f64]) -> Vec<(f64, Option<u32>)> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                detect_cliff_with(mrc, t).map(|i| mrc.points()[i + 1].0),
+            )
+        })
+        .collect()
+}
+
+/// Result of the f_mem-source ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FMemAblation {
+    /// Error when Eq. (3) uses the largest scale model's f_mem (paper).
+    pub error_large_pct: f64,
+    /// Error when it uses the smallest scale model's f_mem instead.
+    pub error_small_pct: f64,
+}
+
+/// Compares predicting `target_sms` with `f_mem` taken from the largest
+/// vs the smallest scale model, for a cliff benchmark.
+///
+/// # Errors
+///
+/// Propagates predictor construction failures.
+pub fn ablate_f_mem_source(
+    bench: &StrongBenchmark,
+    scale: MemScale,
+    target_sms: u32,
+) -> Result<FMemAblation, ModelError> {
+    let ladder: Vec<GpuConfig> = std::iter::successors(Some(8u32), |&s| Some(s * 2))
+        .take_while(|&s| s <= target_sms)
+        .map(|s| GpuConfig::paper_target(s, scale))
+        .collect();
+    let s8 = Simulator::new(ladder[0].clone(), &bench.workload).run();
+    let s16 = Simulator::new(ladder[1].clone(), &bench.workload).run();
+    let real = Simulator::new(ladder.last().expect("ladder non-empty").clone(), &bench.workload)
+        .run()
+        .sustained_ipc();
+    let curve = collect_mrc(&bench.workload, &ladder);
+    let sizes: Vec<u32> = std::iter::successors(Some(8u32), |&s| Some(s * 2))
+        .take(ladder.len())
+        .collect();
+    let mrc = SizedMrc::new(
+        sizes
+            .iter()
+            .zip(curve.points())
+            .map(|(&s, p)| (s, p.mpki)),
+    );
+    let predict_with = |f_mem: f64| -> Result<f64, ModelError> {
+        ScaleModelPredictor::new(
+            ScaleModelInputs::new(8, s8.sustained_ipc(), 16, s16.sustained_ipc())
+                .with_sized_mrc(mrc.clone())
+                .with_f_mem(f_mem),
+        )?
+        .predict_checked(target_sms)
+    };
+    Ok(FMemAblation {
+        error_large_pct: percent_error(predict_with(s16.f_mem())?, real),
+        error_small_pct: percent_error(predict_with(s8.f_mem())?, real),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::suite::strong_benchmark;
+
+    fn fast_scale() -> MemScale {
+        MemScale::new(32)
+    }
+
+    #[test]
+    fn full_size_llc_models_hide_the_cliff() {
+        // dct's working set fits the capacity-rich (128-SM-sized) model
+        // LLC but not the real 64-SM target: the violating models run
+        // post-cliff, see no cliff in their flat miss-rate curve, and
+        // grossly overpredict the pre-cliff target.
+        let bench = strong_benchmark("dct", fast_scale()).expect("dct exists");
+        let prop =
+            ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::Proportional)
+                .expect("runs");
+        let full =
+            ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::FullSizeLlc)
+                .expect("runs");
+        assert!(
+            full.error_pct > prop.error_pct + 20.0,
+            "full-size LLC must hurt: proportional {:.1}% vs full {:.1}%",
+            prop.error_pct,
+            full.error_pct
+        );
+        // The violating models run unrealistically fast.
+        assert!(full.ipc_models.0 > prop.ipc_models.0);
+    }
+
+    #[test]
+    fn full_bandwidth_models_overpredict_bandwidth_bound_workloads() {
+        let bench = strong_benchmark("pf", fast_scale()).expect("pf exists");
+        let prop =
+            ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::Proportional)
+                .expect("runs");
+        let full =
+            ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::FullBandwidth)
+                .expect("runs");
+        assert!(
+            full.error_pct > prop.error_pct + 5.0,
+            "full bandwidth must hurt pf: {:.1}% vs {:.1}%",
+            prop.error_pct,
+            full.error_pct
+        );
+    }
+
+    #[test]
+    fn threshold_sweep_brackets_detection() {
+        let mrc = SizedMrc::new([(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 3.2)]);
+        let sweep = cliff_threshold_sweep(&mrc, &[1.5, 2.0, 3.0]);
+        assert_eq!(sweep[0], (1.5, Some(128))); // 2.5x drop seen at 1.5x
+        assert_eq!(sweep[1], (2.0, Some(128)));
+        assert_eq!(sweep[2], (3.0, None));
+    }
+
+    #[test]
+    fn f_mem_source_matters_for_cliff_benchmarks() {
+        let bench = strong_benchmark("lu", fast_scale()).expect("lu exists");
+        let r = ablate_f_mem_source(&bench, fast_scale(), 64).expect("runs");
+        // Both are defined; the paper's choice should not be (much) worse.
+        assert!(r.error_large_pct.is_finite() && r.error_small_pct.is_finite());
+        assert!(r.error_large_pct < r.error_small_pct + 15.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Measured scaling-class detection.
+//!
+//! Table II's rightmost column classifies each benchmark as linear,
+//! sub-linear or super-linear from its measured performance across system
+//! sizes. This module reproduces that classification from an IPC-vs-size
+//! curve: the geometric-mean per-doubling growth ratio is compared against
+//! a band around the ideal 2×.
+
+use gsim_trace::suite::ScalingClass;
+
+/// Per-doubling geometric growth above which a workload is called
+/// super-linear (ideal linear scaling is 2.0).
+pub const SUPER_LINEAR_RATIO: f64 = 2.15;
+
+/// Per-doubling geometric growth below which a workload is called
+/// sub-linear.
+pub const SUB_LINEAR_RATIO: f64 = 1.85;
+
+/// Classifies a measured IPC curve over doubling system sizes.
+///
+/// `points` are `(size, ipc)` pairs; they are sorted internally. The
+/// classification compares the geometric mean growth per doubling with
+/// [`SUPER_LINEAR_RATIO`] / [`SUB_LINEAR_RATIO`]. A workload whose *any*
+/// single doubling exceeds the paper's cliff-like jump (2.5×) is also
+/// super-linear, since a cliff can be diluted by several linear doublings
+/// around it.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any IPC is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use gsim_core::classify_scaling;
+/// use gsim_trace::suite::ScalingClass;
+///
+/// let linear = [(8, 100.0), (16, 197.0), (32, 395.0)];
+/// assert_eq!(classify_scaling(&linear), ScalingClass::Linear);
+/// ```
+pub fn classify_scaling(points: &[(u32, f64)]) -> ScalingClass {
+    assert!(points.len() >= 2, "need at least two sizes to classify");
+    let mut pts = points.to_vec();
+    pts.sort_by_key(|&(s, _)| s);
+    for &(s, ipc) in &pts {
+        assert!(ipc > 0.0, "IPC at size {s} must be positive");
+    }
+    let (s0, ipc0) = pts[0];
+    let (s1, ipc1) = pts[pts.len() - 1];
+    let doublings = (f64::from(s1) / f64::from(s0)).log2();
+    let geo = (ipc1 / ipc0).powf(1.0 / doublings);
+    let max_step = pts
+        .windows(2)
+        .map(|w| {
+            let steps = (f64::from(w[1].0) / f64::from(w[0].0)).log2();
+            (w[1].1 / w[0].1).powf(1.0 / steps)
+        })
+        .fold(0.0f64, f64::max);
+    if geo > SUPER_LINEAR_RATIO || max_step > 2.5 {
+        ScalingClass::SuperLinear
+    } else if geo < SUB_LINEAR_RATIO {
+        ScalingClass::SubLinear
+    } else {
+        ScalingClass::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_linear() {
+        let pts = [(8, 100.0), (16, 200.0), (32, 400.0), (64, 800.0)];
+        assert_eq!(classify_scaling(&pts), ScalingClass::Linear);
+    }
+
+    #[test]
+    fn nearly_linear_within_band() {
+        let pts = [(8, 100.0), (16, 196.0), (32, 384.0), (64, 750.0)];
+        assert_eq!(classify_scaling(&pts), ScalingClass::Linear);
+    }
+
+    #[test]
+    fn sub_linear_curve() {
+        let pts = [(8, 100.0), (16, 180.0), (32, 300.0), (64, 460.0)];
+        assert_eq!(classify_scaling(&pts), ScalingClass::SubLinear);
+    }
+
+    #[test]
+    fn cliff_makes_super_linear_even_when_diluted() {
+        // Three linear doublings plus one 3.4x cliff: geometric mean is
+        // only 2.27 but the single jump marks it super-linear.
+        let pts = [
+            (8, 100.0),
+            (16, 197.0),
+            (32, 390.0),
+            (64, 770.0),
+            (128, 2600.0),
+        ];
+        assert_eq!(classify_scaling(&pts), ScalingClass::SuperLinear);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let pts = [(64, 460.0), (8, 100.0), (32, 300.0), (16, 180.0)];
+        assert_eq!(classify_scaling(&pts), ScalingClass::SubLinear);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sizes")]
+    fn needs_two_points() {
+        let _ = classify_scaling(&[(8, 1.0)]);
+    }
+}

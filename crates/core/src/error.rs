@@ -1,0 +1,78 @@
+//! Error type for model construction and prediction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a predictor could not be built or evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The two scale models must have distinct, positive sizes.
+    InvalidScaleModels {
+        /// Size of the smaller scale model.
+        small: u32,
+        /// Size of the larger scale model.
+        large: u32,
+    },
+    /// IPC observations must be positive and finite.
+    InvalidIpc(f64),
+    /// The target size must be the largest scale model times a power of
+    /// two (the paper predicts along capacity doublings).
+    TargetNotDoubling {
+        /// Largest scale-model size.
+        large: u32,
+        /// Requested target size.
+        target: u32,
+    },
+    /// A cliff was detected but no memory-stall fraction was provided
+    /// (the Eq. 3 boost needs `f_mem` of the largest scale model).
+    MissingFMem,
+    /// The miss-rate curve does not cover the requested target size.
+    MrcDoesNotCover {
+        /// Requested target size.
+        target: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidScaleModels { small, large } => write!(
+                f,
+                "scale models must have distinct positive sizes, got {small} and {large}"
+            ),
+            ModelError::InvalidIpc(v) => {
+                write!(f, "IPC observations must be positive and finite, got {v}")
+            }
+            ModelError::TargetNotDoubling { large, target } => write!(
+                f,
+                "target size {target} is not the largest scale model ({large}) times a power of two"
+            ),
+            ModelError::MissingFMem => write!(
+                f,
+                "a miss-rate-curve cliff was detected but no memory-stall fraction was provided"
+            ),
+            ModelError::MrcDoesNotCover { target } => {
+                write!(f, "miss-rate curve has no sample for target size {target}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = ModelError::InvalidScaleModels { small: 8, large: 8 };
+        assert!(e.to_string().contains("distinct"));
+        let e = ModelError::TargetNotDoubling {
+            large: 16,
+            target: 48,
+        };
+        assert!(e.to_string().contains("48"));
+        assert!(ModelError::MissingFMem.to_string().contains("cliff"));
+    }
+}

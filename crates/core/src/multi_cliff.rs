@@ -1,0 +1,268 @@
+//! Multi-cliff scale-model prediction — the paper's Section V.D
+//! extension.
+//!
+//! The paper observes a single miss-rate-curve cliff for its workloads
+//! and system (one shared cache level) and leaves multiple cliffs as
+//! future work, sketching the solution: "the cliffs around the L2 and L3
+//! capacities will drastically reduce the respective stall components
+//! which can be modeled similarly". This module implements that sketch.
+//!
+//! Generalisation: assume memory-stall time is proportional to the miss
+//! rate. Let `f` be the current memory-stall fraction (initially
+//! `f_mem` measured on the largest scale model) and let a cliff crossing
+//! drop MPKI from `m_before` to `m_after`. The crossing eliminates the
+//! share `w = (m_before − m_after) / m_before` of the remaining stalls,
+//! so the doubling that crosses it multiplies IPC by
+//!
+//! ```text
+//! 2 × 1 / (1 − f·w)
+//! ```
+//!
+//! and the stall fraction carried forward becomes
+//! `f' = f·(1 − w) / (1 − f·w)` (stall time scaled by `1 − w`, total
+//! time by `1 − f·w`). For a single total cliff (`w = 1`) this reduces
+//! exactly to Eq. (3) and `f' = 0`. Steady doublings compound the
+//! correction factor as in [`ScaleModelPredictor`].
+//!
+//! [`ScaleModelPredictor`]: crate::ScaleModelPredictor
+
+use crate::cliff::{SizedMrc, CLIFF_DROP_FACTOR};
+use crate::error::ModelError;
+use crate::predictor::ScalingPredictor;
+use crate::scale_model::ScaleModelInputs;
+
+/// Finds **all** cliffs: every index `i` where MPKI drops by more than
+/// [`CLIFF_DROP_FACTOR`] from `points[i]` to `points[i+1]`.
+///
+/// # Example
+///
+/// ```
+/// use gsim_core::{detect_cliffs, SizedMrc};
+///
+/// // Two nested working sets fitting at 32 and at 128 SMs.
+/// let mrc = SizedMrc::new([(8, 9.0), (16, 8.8), (32, 4.0), (64, 3.8), (128, 0.5)]);
+/// assert_eq!(detect_cliffs(&mrc), vec![1, 3]);
+/// ```
+pub fn detect_cliffs(mrc: &SizedMrc) -> Vec<usize> {
+    mrc.points()
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[0].1 > 0.05 && w[1].1 < w[0].1 / CLIFF_DROP_FACTOR)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The multi-cliff generalisation of the scale-model predictor.
+///
+/// Requires a miss-rate curve (it is meaningless without one) and the
+/// largest scale model's memory-stall fraction whenever any cliff lies
+/// beyond the scale models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCliffPredictor {
+    small_size: u32,
+    large_size: u32,
+    large_ipc: f64,
+    correction: f64,
+    f_mem: f64,
+    mrc: SizedMrc,
+    /// First size past each detected cliff, with the stall share `w`
+    /// eliminated there.
+    cliffs: Vec<(u32, f64)>,
+}
+
+impl MultiCliffPredictor {
+    /// Builds the predictor from the same inputs as the single-cliff
+    /// model. The miss-rate curve is mandatory here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent observations, a missing
+    /// miss-rate curve, or a missing `f_mem` when cliffs exist beyond
+    /// the scale models.
+    pub fn new(inputs: &ScaleModelInputs) -> Result<Self, ModelError> {
+        let (s, l) = (inputs.small_size(), inputs.large_size());
+        if s == 0 || l == 0 || s >= l {
+            return Err(ModelError::InvalidScaleModels { small: s, large: l });
+        }
+        for v in [inputs.small_ipc(), inputs.large_ipc()] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ModelError::InvalidIpc(v));
+            }
+        }
+        let mrc = inputs
+            .mrc()
+            .cloned()
+            .ok_or(ModelError::MrcDoesNotCover { target: l })?;
+        let cliffs: Vec<(u32, f64)> = detect_cliffs(&mrc)
+            .into_iter()
+            .map(|i| {
+                let (_, before) = mrc.points()[i];
+                let (hi, after) = mrc.points()[i + 1];
+                (hi, ((before - after) / before).clamp(0.0, 1.0))
+            })
+            .collect();
+        if cliffs.iter().any(|&(hi, _)| hi > l) && inputs.f_mem().is_none() {
+            return Err(ModelError::MissingFMem);
+        }
+        let correction =
+            (inputs.large_ipc() / inputs.small_ipc()) / (f64::from(l) / f64::from(s));
+        Ok(Self {
+            small_size: s,
+            large_size: l,
+            large_ipc: inputs.large_ipc(),
+            correction,
+            f_mem: inputs.f_mem().unwrap_or(0.0).clamp(0.0, 0.99),
+            mrc,
+            cliffs,
+        })
+    }
+
+    /// The sizes just past each detected cliff.
+    pub fn cliff_sizes(&self) -> Vec<u32> {
+        self.cliffs.iter().map(|&(hi, _)| hi).collect()
+    }
+
+    /// The correction factor `C` of Eq. (1).
+    pub fn correction_factor(&self) -> f64 {
+        self.correction
+    }
+
+    /// Predicts IPC at `target`, which must be the largest scale model
+    /// times a power of two and covered by the miss-rate curve.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelError`].
+    pub fn predict_checked(&self, target: u32) -> Result<f64, ModelError> {
+        let l = self.large_size;
+        let mut size = l;
+        let mut steps = 0u32;
+        while size < target {
+            size *= 2;
+            steps += 1;
+        }
+        if size != target {
+            return Err(ModelError::TargetNotDoubling { large: l, target });
+        }
+        if steps > 0 {
+            self.mrc.ensure_covers(target)?;
+        }
+        let mut ipc = self.large_ipc;
+        let mut size = l;
+        let mut f = self.f_mem;
+        let mut since_anchor = 0u32;
+        for _ in 0..steps {
+            let next = size * 2;
+            if let Some(&(_, w)) = self.cliffs.iter().find(|&&(hi, _)| hi == next) {
+                // Partial Eq. (3): eliminate the share `w` of the
+                // remaining stalls and re-anchor the correction.
+                let boost = 1.0 / (1.0 - f * w);
+                ipc *= 2.0 * boost;
+                f = (f * (1.0 - w)) * boost;
+                since_anchor = 0;
+            } else {
+                since_anchor += 1;
+                ipc *= 2.0 * self.correction.powi(1 << (since_anchor - 1));
+            }
+            size = next;
+        }
+        Ok(ipc)
+    }
+}
+
+impl ScalingPredictor for MultiCliffPredictor {
+    fn name(&self) -> &'static str {
+        "multi-cliff"
+    }
+
+    /// # Panics
+    ///
+    /// Panics on invalid targets; use
+    /// [`MultiCliffPredictor::predict_checked`] for a fallible variant.
+    fn predict(&self, size: f64) -> f64 {
+        self.predict_checked(size.round() as u32)
+            .unwrap_or_else(|e| panic!("multi-cliff prediction failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(mrc: Vec<(u32, f64)>, f_mem: f64) -> ScaleModelInputs {
+        ScaleModelInputs::new(8, 100.0, 16, 196.0)
+            .with_mrc(mrc)
+            .with_f_mem(f_mem)
+    }
+
+    #[test]
+    fn single_total_cliff_reduces_to_eq_3() {
+        // MPKI drops to ~0: w ≈ 1, so the boost matches the single-cliff
+        // model's 1/(1-f).
+        let mrc = vec![(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 0.0)];
+        let p = MultiCliffPredictor::new(&inputs(mrc, 0.5)).unwrap();
+        let c = p.correction_factor();
+        let expected = 196.0 * (2.0 * c) * (2.0 * c * c) * (2.0 / 0.5);
+        assert!((p.predict(128.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_cliffs_apply_two_partial_boosts() {
+        // First cliff removes half the misses, second the rest.
+        let mrc = vec![(8, 8.0), (16, 8.0), (32, 8.0), (64, 3.2), (128, 0.0)];
+        let p = MultiCliffPredictor::new(&inputs(mrc, 0.6)).unwrap();
+        assert_eq!(p.cliff_sizes(), vec![64, 128]);
+        let c = p.correction_factor();
+        // Cliff 1: w = (8-3.2)/8 = 0.6; boost = 1/(1-0.36); f' = 0.24/0.64.
+        let b1 = 1.0 / (1.0 - 0.6 * 0.6);
+        let f1 = 0.6 * 0.4 * b1;
+        // Cliff 2: w = 1; boost = 1/(1-f1).
+        let b2 = 1.0 / (1.0 - f1);
+        let expected = 196.0 * (2.0 * c) * (2.0 * b1) * (2.0 * b2);
+        assert!((p.predict(128.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_cliff_boost_is_smaller_than_total() {
+        let partial = vec![(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 3.0)];
+        let total = vec![(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 0.0)];
+        let pp = MultiCliffPredictor::new(&inputs(partial, 0.5)).unwrap();
+        let pt = MultiCliffPredictor::new(&inputs(total, 0.5)).unwrap();
+        assert!(pp.predict(128.0) < pt.predict(128.0));
+        assert!(pp.predict(128.0) > 196.0 * 8.0 * 0.98f64.powi(7) - 1e-9);
+    }
+
+    #[test]
+    fn no_cliffs_behaves_like_pre_cliff_compounding() {
+        let mrc = vec![(8, 8.0), (16, 7.9), (32, 7.8), (64, 7.7), (128, 7.6)];
+        let p = MultiCliffPredictor::new(&inputs(mrc, 0.5)).unwrap();
+        assert!(p.cliff_sizes().is_empty());
+        let c = p.correction_factor();
+        let expected = 196.0 * 8.0 * c.powi(7);
+        assert!((p.predict(128.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requires_a_miss_rate_curve() {
+        let inputs = ScaleModelInputs::new(8, 100.0, 16, 196.0).with_f_mem(0.5);
+        assert!(MultiCliffPredictor::new(&inputs).is_err());
+    }
+
+    #[test]
+    fn requires_f_mem_when_cliffs_lie_ahead() {
+        let inputs = ScaleModelInputs::new(8, 100.0, 16, 196.0)
+            .with_mrc(vec![(8, 8.0), (16, 8.0), (32, 0.5)]);
+        assert_eq!(
+            MultiCliffPredictor::new(&inputs).unwrap_err(),
+            ModelError::MissingFMem
+        );
+    }
+
+    #[test]
+    fn detect_cliffs_finds_every_drop() {
+        let mrc = SizedMrc::new([(8, 16.0), (16, 6.0), (32, 5.0), (64, 2.0), (128, 1.9)]);
+        assert_eq!(detect_cliffs(&mrc), vec![0, 2]);
+        let flat = SizedMrc::new([(8, 5.0), (16, 4.0)]);
+        assert!(detect_cliffs(&flat).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Kernel-sampling baseline: the simulation-acceleration alternative the
+//! paper positions itself against.
+//!
+//! Sampling approaches (e.g. principal kernel analysis \[8\], TBPoint \[32\])
+//! speed simulation up by running only a fraction of each kernel's CTAs
+//! on the *target* configuration and extrapolating. Two properties
+//! distinguish them from scale-model simulation, both demonstrated here:
+//!
+//! 1. **They require a simulator (and simulation host) capable of the
+//!    target system** — the whole premise the paper removes.
+//! 2. **Truncating a grid distorts shared-resource behaviour**: the
+//!    sampled CTAs' working set is a fraction of the real one, so an LLC
+//!    that would thrash under the full grid can swallow the sample —
+//!    sampling then *overpredicts* exactly the memory-bound cases where
+//!    accurate scaling studies matter.
+
+use gsim_sim::{GpuConfig, SimStats, Simulator};
+use gsim_trace::{TracedWorkload, Workload, WorkloadModel};
+
+use crate::percent_error;
+
+/// Result of a sampled-simulation estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingEstimate {
+    /// CTA fraction simulated.
+    pub fraction: f64,
+    /// Estimated full-run IPC.
+    pub ipc_estimate: f64,
+    /// Wall-clock seconds the sampled simulation took.
+    pub sim_seconds: f64,
+    /// Statistics of the sampled run (for diagnostics).
+    pub sampled: SimStats,
+}
+
+/// Estimates full-run IPC on `cfg` by simulating only the first
+/// `fraction` of each kernel's CTAs and scaling each kernel's measured
+/// cycles by its truncation factor.
+///
+/// # Panics
+///
+/// Panics unless `0 < fraction <= 1`.
+pub fn estimate_by_sampling(
+    wl: &Workload,
+    cfg: &GpuConfig,
+    fraction: f64,
+) -> SamplingEstimate {
+    let mut trace = Vec::new();
+    gsim_trace::write_trace(wl, &mut trace).expect("in-memory trace");
+    let traced = TracedWorkload::read(&trace[..]).expect("own trace is well-formed");
+    let (sampled_wl, factors) = traced.with_cta_fraction(fraction);
+    let stats = Simulator::new(cfg.clone(), &sampled_wl).run();
+    // Extrapolate per kernel: a kernel truncated by factor f would have
+    // taken ~f times its sampled cycles.
+    let est_cycles: f64 = stats
+        .kernel_cycles
+        .iter()
+        .zip(&factors)
+        .map(|(&c, &f)| c as f64 * f)
+        .sum();
+    let full_thread_instrs = traced.approx_warp_instrs() as f64 * 32.0;
+    SamplingEstimate {
+        fraction,
+        ipc_estimate: if est_cycles > 0.0 {
+            full_thread_instrs / est_cycles
+        } else {
+            0.0
+        },
+        sim_seconds: stats.sim_wall_seconds,
+        sampled: stats,
+    }
+}
+
+/// Side-by-side accuracy of sampling vs the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingComparison {
+    /// The sampled estimate.
+    pub estimate: SamplingEstimate,
+    /// Ground-truth IPC of the full run on the target.
+    pub real_ipc: f64,
+    /// Wall-clock seconds of the full target simulation.
+    pub full_sim_seconds: f64,
+    /// `|estimate − real| / real × 100`.
+    pub error_pct: f64,
+}
+
+/// Runs both the sampled and the full simulation of `wl` on `cfg`.
+pub fn compare_sampling(wl: &Workload, cfg: &GpuConfig, fraction: f64) -> SamplingComparison {
+    let estimate = estimate_by_sampling(wl, cfg, fraction);
+    let full = Simulator::new(cfg.clone(), wl).run();
+    SamplingComparison {
+        error_pct: percent_error(estimate.ipc_estimate, full.ipc()),
+        real_ipc: full.ipc(),
+        full_sim_seconds: full.sim_wall_seconds,
+        estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::suite::strong_benchmark;
+    use gsim_trace::MemScale;
+
+    fn scale() -> MemScale {
+        MemScale::new(32)
+    }
+
+    #[test]
+    fn full_fraction_reproduces_the_run() {
+        let bench = strong_benchmark("ht", scale()).expect("ht exists");
+        let cfg = GpuConfig::paper_target(8, scale());
+        let c = compare_sampling(&bench.workload, &cfg, 1.0);
+        assert!(
+            c.error_pct < 1.0,
+            "fraction 1.0 must match the full run, got {:.2}%",
+            c.error_pct
+        );
+    }
+
+    #[test]
+    fn sampling_is_faster_but_distorts_capacity_sensitive_workloads() {
+        // lu's working set thrashes the 32-SM LLC under the full grid but
+        // an eighth of it fits: sampling overpredicts.
+        let bench = strong_benchmark("lu", scale()).expect("lu exists");
+        let cfg = GpuConfig::paper_target(32, scale());
+        let c = compare_sampling(&bench.workload, &cfg, 0.125);
+        assert!(
+            c.estimate.ipc_estimate > c.real_ipc * 1.15,
+            "sampled working set fits the LLC, so sampling should overpredict: \
+             est {:.0} vs real {:.0}",
+            c.estimate.ipc_estimate,
+            c.real_ipc
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn rejects_zero_fraction() {
+        let bench = strong_benchmark("ht", scale()).expect("ht exists");
+        let cfg = GpuConfig::paper_target(8, scale());
+        let _ = estimate_by_sampling(&bench.workload, &cfg, 0.0);
+    }
+}

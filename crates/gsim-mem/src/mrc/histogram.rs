@@ -1,0 +1,142 @@
+//! Stack-distance histograms.
+
+/// A histogram of LRU stack distances (reuse distances measured in *unique*
+/// intervening lines), plus the count of cold (first-touch) accesses.
+///
+/// A fully-associative LRU cache of capacity `C` lines hits an access iff
+/// its stack distance is `< C`; the miss count at capacity `C` is therefore
+/// the cold count plus the histogram mass at distances `>= C`. Fractional
+/// weights are supported so sampled engines (SHARDS) can scale their
+/// contributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StackDistanceHistogram {
+    /// `counts[d]` = (possibly scaled) number of accesses with distance `d`.
+    counts: Vec<f64>,
+    cold: f64,
+    total: f64,
+}
+
+impl StackDistanceHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `weight` accesses at stack distance `distance`.
+    pub fn add(&mut self, distance: u64, weight: f64) {
+        let d = usize::try_from(distance).expect("distance exceeds usize");
+        if d >= self.counts.len() {
+            self.counts.resize(d + 1, 0.0);
+        }
+        self.counts[d] += weight;
+        self.total += weight;
+    }
+
+    /// Adds `weight` cold (first-touch) accesses, which miss at any capacity.
+    pub fn add_cold(&mut self, weight: f64) {
+        self.cold += weight;
+        self.total += weight;
+    }
+
+    /// Total (scaled) accesses recorded.
+    pub fn total_accesses(&self) -> f64 {
+        self.total
+    }
+
+    /// Total (scaled) cold accesses.
+    pub fn cold_accesses(&self) -> f64 {
+        self.cold
+    }
+
+    /// Largest distance with non-zero mass, if any reuse was recorded.
+    pub fn max_distance(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0.0)
+            .map(|d| d as u64)
+    }
+
+    /// Number of misses a fully-associative LRU cache of `capacity_lines`
+    /// would take on this trace: cold misses plus all accesses whose
+    /// distance is `>= capacity_lines`.
+    pub fn misses_at(&self, capacity_lines: u64) -> f64 {
+        let c = usize::try_from(capacity_lines).unwrap_or(usize::MAX);
+        let reuse_misses: f64 = if c >= self.counts.len() {
+            0.0
+        } else {
+            self.counts[c..].iter().sum()
+        };
+        self.cold + reuse_misses
+    }
+
+    /// Miss *rate* (fraction of accesses missing) at `capacity_lines`;
+    /// 0 if the histogram is empty.
+    pub fn miss_rate_at(&self, capacity_lines: u64) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.misses_at(capacity_lines) / self.total
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &StackDistanceHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0.0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_decrease_with_capacity() {
+        let mut h = StackDistanceHistogram::new();
+        h.add_cold(4.0);
+        h.add(0, 10.0);
+        h.add(5, 3.0);
+        h.add(100, 2.0);
+        let caps = [0u64, 1, 6, 101, 1_000_000];
+        let misses: Vec<f64> = caps.iter().map(|&c| h.misses_at(c)).collect();
+        assert_eq!(misses, vec![19.0, 9.0, 6.0, 4.0, 4.0]);
+        for w in misses.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn cold_misses_never_disappear() {
+        let mut h = StackDistanceHistogram::new();
+        h.add_cold(7.0);
+        assert_eq!(h.misses_at(u64::MAX), 7.0);
+        assert_eq!(h.miss_rate_at(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = StackDistanceHistogram::new();
+        assert_eq!(h.misses_at(0), 0.0);
+        assert_eq!(h.miss_rate_at(10), 0.0);
+        assert_eq!(h.max_distance(), None);
+    }
+
+    #[test]
+    fn merge_sums_mass() {
+        let mut a = StackDistanceHistogram::new();
+        a.add(1, 2.0);
+        a.add_cold(1.0);
+        let mut b = StackDistanceHistogram::new();
+        b.add(3, 4.0);
+        a.merge(&b);
+        assert_eq!(a.total_accesses(), 7.0);
+        assert_eq!(a.misses_at(2), 5.0); // cold 1 + distance-3 mass 4
+        assert_eq!(a.max_distance(), Some(3));
+    }
+}

@@ -1,0 +1,80 @@
+//! Reference Mattson stack: exact, O(n) per access.
+
+use super::histogram::StackDistanceHistogram;
+use super::DistanceEngine;
+
+/// The textbook LRU-stack reuse-distance algorithm: maintain the stack of
+/// lines ordered most-recently-used first; the distance of an access is the
+/// depth at which its line is found.
+///
+/// Quadratic in trace length — only use it on short traces (it exists as an
+/// executable specification against which [`TreeStack`](super::TreeStack)
+/// and [`ShardsStack`](super::ShardsStack) are property-tested).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveStack {
+    stack: Vec<u64>,
+    hist: StackDistanceHistogram,
+}
+
+impl NaiveStack {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DistanceEngine for NaiveStack {
+    fn record(&mut self, line_addr: u64) {
+        match self.stack.iter().position(|&l| l == line_addr) {
+            Some(depth) => {
+                self.hist.add(depth as u64, 1.0);
+                self.stack[..=depth].rotate_right(1);
+            }
+            None => {
+                self.hist.add_cold(1.0);
+                self.stack.insert(0, line_addr);
+            }
+        }
+    }
+
+    fn finish(self) -> StackDistanceHistogram {
+        self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_sequence() {
+        // Trace a b c a: distances are cold, cold, cold, 2.
+        let mut e = NaiveStack::new();
+        e.record_all([10, 20, 30, 10]);
+        let h = e.finish();
+        assert_eq!(h.cold_accesses(), 3.0);
+        assert_eq!(h.misses_at(3), 3.0); // distance 2 < 3 lines => hit
+        assert_eq!(h.misses_at(2), 4.0); // distance 2 >= 2 lines => miss
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut e = NaiveStack::new();
+        e.record_all([5, 5, 5]);
+        let h = e.finish();
+        assert_eq!(h.cold_accesses(), 1.0);
+        assert_eq!(h.misses_at(1), 1.0); // only the cold miss
+    }
+
+    #[test]
+    fn cyclic_sweep_distance_equals_footprint() {
+        let mut e = NaiveStack::new();
+        for _ in 0..3 {
+            e.record_all(0..10u64);
+        }
+        let h = e.finish();
+        // Every reuse has distance 9 (9 unique lines in between).
+        assert_eq!(h.misses_at(10), 10.0); // fits: only cold misses
+        assert_eq!(h.misses_at(9), 30.0); // one line short: LRU thrash
+    }
+}

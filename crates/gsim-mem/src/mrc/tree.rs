@@ -1,0 +1,227 @@
+//! Exact single-pass reuse distances in O(log n) per access.
+//!
+//! This is the tree-accelerated formulation of the Mattson stack used by
+//! single-pass MRC tools (Conte et al.): each line's most recent access is
+//! marked at its (logical) time position in a Fenwick tree; the stack
+//! distance of a new access to the line is the number of marks strictly
+//! after its previous access, i.e. the number of *distinct* lines touched in
+//! between. The time axis is compacted whenever it fills up, so the engine
+//! handles arbitrarily long traces in O(u) memory for u unique lines.
+
+use std::collections::HashMap;
+
+use super::histogram::StackDistanceHistogram;
+use super::DistanceEngine;
+
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Adds `delta` at 0-based position `i`.
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based, inclusive).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Exact reuse-distance engine with a Fenwick tree over logical time.
+///
+/// # Example
+///
+/// ```
+/// use gsim_mem::mrc::{DistanceEngine, TreeStack};
+///
+/// let mut e = TreeStack::new();
+/// e.record_all([1, 2, 3, 1]);
+/// let h = e.finish();
+/// assert_eq!(h.cold_accesses(), 3.0);
+/// assert_eq!(h.misses_at(3), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeStack {
+    fenwick: Fenwick,
+    /// line address -> time slot of its most recent access.
+    last_slot: HashMap<u64, usize>,
+    /// Next free time slot.
+    next_slot: usize,
+    hist: StackDistanceHistogram,
+}
+
+impl Default for TreeStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeStack {
+    /// Creates an engine with a small initial time axis (it grows/compacts
+    /// automatically).
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 16)
+    }
+
+    /// Creates an engine with a pre-sized time axis; useful when the trace
+    /// length is known to avoid early compactions.
+    pub fn with_capacity(slots: usize) -> Self {
+        let slots = slots.max(16);
+        Self {
+            fenwick: Fenwick::new(slots),
+            last_slot: HashMap::new(),
+            next_slot: 0,
+            hist: StackDistanceHistogram::new(),
+        }
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn unique_lines(&self) -> usize {
+        self.last_slot.len()
+    }
+
+    /// Rebuilds the time axis, renumbering the surviving marks (one per
+    /// unique line) densely in their original order. Amortised cost is
+    /// O(log n) per access because a compaction only happens after at least
+    /// `capacity - unique` fresh accesses.
+    fn compact(&mut self) {
+        let mut entries: Vec<(u64, usize)> =
+            self.last_slot.iter().map(|(&a, &s)| (a, s)).collect();
+        entries.sort_unstable_by_key(|&(_, s)| s);
+        // Grow so that at least half the axis is free after compaction.
+        let needed = (entries.len() * 2).max(16);
+        let cap = self.fenwick.len().max(needed).next_power_of_two();
+        self.fenwick = Fenwick::new(cap);
+        self.last_slot.clear();
+        for (i, (addr, _)) in entries.iter().enumerate() {
+            self.fenwick.add(i, 1);
+            self.last_slot.insert(*addr, i);
+        }
+        self.next_slot = entries.len();
+    }
+}
+
+impl DistanceEngine for TreeStack {
+    fn record(&mut self, line_addr: u64) {
+        if self.next_slot >= self.fenwick.len() {
+            self.compact();
+        }
+        let now = self.next_slot;
+        self.next_slot += 1;
+        match self.last_slot.insert(line_addr, now) {
+            Some(prev) => {
+                // Marks strictly after `prev`: total marks minus prefix(prev).
+                let total = self.fenwick.prefix(self.fenwick.len() - 1);
+                let upto_prev = self.fenwick.prefix(prev);
+                // `prev` itself is marked, so distinct lines in between:
+                let distance = total - upto_prev;
+                self.hist.add(distance, 1.0);
+                self.fenwick.add(prev, -1);
+            }
+            None => self.hist.add_cold(1.0),
+        }
+        self.fenwick.add(now, 1);
+    }
+
+    fn finish(self) -> StackDistanceHistogram {
+        self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::naive::NaiveStack;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_naive_on_classic_sequence() {
+        let trace = [10u64, 20, 30, 10, 20, 20, 40, 10];
+        let mut t = TreeStack::new();
+        let mut n = NaiveStack::new();
+        t.record_all(trace);
+        n.record_all(trace);
+        assert_eq!(t.finish(), n.finish());
+    }
+
+    #[test]
+    fn matches_naive_on_random_trace() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let trace: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..500u64)).collect();
+        let mut t = TreeStack::with_capacity(64); // force many compactions
+        let mut n = NaiveStack::new();
+        t.record_all(trace.iter().copied());
+        n.record_all(trace.iter().copied());
+        let (ht, hn) = (t.finish(), n.finish());
+        for cap in [0u64, 1, 2, 10, 100, 499, 500, 1000] {
+            assert_eq!(
+                ht.misses_at(cap),
+                hn.misses_at(cap),
+                "mismatch at capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_unique_count() {
+        let mut t = TreeStack::with_capacity(16);
+        for i in 0..1000u64 {
+            t.record(i % 37);
+        }
+        assert_eq!(t.unique_lines(), 37);
+        let h = t.finish();
+        assert_eq!(h.cold_accesses(), 37.0);
+        assert_eq!(h.total_accesses(), 1000.0);
+    }
+
+    #[test]
+    fn cyclic_sweep_step_function() {
+        let mut t = TreeStack::new();
+        let footprint = 256u64;
+        for _ in 0..4 {
+            t.record_all(0..footprint);
+        }
+        let h = t.finish();
+        // Fits exactly at `footprint` lines; thrashes at one less.
+        assert_eq!(h.misses_at(footprint), footprint as f64);
+        assert_eq!(h.misses_at(footprint - 1), 4.0 * footprint as f64);
+    }
+
+    #[test]
+    fn fenwick_prefix_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 1);
+        f.add(7, 1);
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 2);
+        assert_eq!(f.prefix(7), 3);
+        f.add(3, -1);
+        assert_eq!(f.prefix(7), 2);
+    }
+}

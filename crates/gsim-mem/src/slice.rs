@@ -1,0 +1,217 @@
+//! The sliced, shared last-level cache.
+//!
+//! The paper's LLC is a shared cache physically distributed over slices:
+//! every SM can access every slice, and a cache line is stored in exactly one
+//! slice determined by its address (Section IV.3). Because of this, CTAs on
+//! different SMs touching the same shared data "camp" in front of the slice
+//! that owns it — one of the two mechanisms behind sub-linear scaling.
+
+use crate::cache::{AccessResult, Cache, ReplacementPolicy};
+use crate::geometry::CacheGeometry;
+
+/// Maps a line address to its owning slice.
+///
+/// A multiplicative hash decorrelates slice selection from set indexing so
+/// strided traffic spreads over slices the way real memory-side hashes do.
+#[inline]
+pub fn slice_for_line(line_addr: u64, n_slices: u32) -> u32 {
+    debug_assert!(n_slices > 0);
+    // Fibonacci hashing on the line address.
+    let h = line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) % u64::from(n_slices)) as u32
+}
+
+/// A shared LLC organised as `n_slices` address-hashed slices, each an
+/// independent set-associative [`Cache`].
+///
+/// Per-slice access counts are tracked so the timing simulator can model
+/// slice-port contention (camping) and so tests can verify the hash spreads
+/// load.
+///
+/// # Example
+///
+/// ```
+/// use gsim_mem::{CacheGeometry, SlicedLlc};
+///
+/// // The paper's 8-SM scale model: 2.125 MB over 2 slices (Table I).
+/// let llc = SlicedLlc::new(2_228_224, 2, 64, 128);
+/// assert_eq!(llc.n_slices(), 2);
+/// assert!(llc.capacity_bytes() <= 2_228_224);
+/// # let _ = CacheGeometry::new(1024, 2, 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlicedLlc {
+    slices: Vec<Cache>,
+}
+
+impl SlicedLlc {
+    /// Builds an LLC of `total_bytes` split evenly over `n_slices` slices,
+    /// each `ways`-way associative with `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slices` is zero or a slice would be smaller than one line.
+    pub fn new(total_bytes: u64, n_slices: u32, ways: u32, line_bytes: u32) -> Self {
+        Self::with_policy(total_bytes, n_slices, ways, line_bytes, ReplacementPolicy::Lru)
+    }
+
+    /// [`SlicedLlc::new`] with an explicit slice replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slices` is zero or a slice would be smaller than one line.
+    pub fn with_policy(
+        total_bytes: u64,
+        n_slices: u32,
+        ways: u32,
+        line_bytes: u32,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(n_slices > 0, "LLC needs at least one slice");
+        let per_slice = total_bytes / u64::from(n_slices);
+        let geom = CacheGeometry::new(per_slice, ways, line_bytes);
+        Self {
+            slices: vec![Cache::with_policy(geom, policy); n_slices as usize],
+        }
+    }
+
+    /// Number of slices.
+    pub fn n_slices(&self) -> u32 {
+        self.slices.len() as u32
+    }
+
+    /// Realised total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.slices
+            .iter()
+            .map(|s| s.geometry().capacity_bytes())
+            .sum()
+    }
+
+    /// Slice index owning `line_addr`.
+    #[inline]
+    pub fn slice_of(&self, line_addr: u64) -> u32 {
+        slice_for_line(line_addr, self.n_slices())
+    }
+
+    /// Accesses `line_addr` in its owning slice.
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> AccessResult {
+        let s = self.slice_of(line_addr) as usize;
+        self.slices[s].access(line_addr, is_write)
+    }
+
+    /// Probes without updating LRU state.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let s = self.slice_of(line_addr) as usize;
+        self.slices[s].contains(line_addr)
+    }
+
+    /// Total hits across slices.
+    pub fn hits(&self) -> u64 {
+        self.slices.iter().map(Cache::hits).sum()
+    }
+
+    /// Total misses across slices.
+    pub fn misses(&self) -> u64 {
+        self.slices.iter().map(Cache::misses).sum()
+    }
+
+    /// Total accesses across slices.
+    pub fn accesses(&self) -> u64 {
+        self.slices.iter().map(Cache::accesses).sum()
+    }
+
+    /// Total dirty evictions across slices (write-back DRAM traffic).
+    pub fn dirty_evictions(&self) -> u64 {
+        self.slices.iter().map(Cache::dirty_evictions).sum()
+    }
+
+    /// Per-slice access counts (for load-balance diagnostics).
+    pub fn per_slice_accesses(&self) -> Vec<u64> {
+        self.slices.iter().map(Cache::accesses).collect()
+    }
+
+    /// Overall miss rate; 0 if no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+
+    /// Empties all slices and resets statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.slices {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_maps_to_stable_slice() {
+        let llc = SlicedLlc::new(1024 * 1024, 8, 16, 128);
+        for l in 0..100u64 {
+            assert_eq!(llc.slice_of(l), llc.slice_of(l));
+            assert!(llc.slice_of(l) < 8);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_lines() {
+        let llc = SlicedLlc::new(1024 * 1024, 8, 16, 128);
+        let mut counts = [0u64; 8];
+        for l in 0..8000u64 {
+            counts[llc.slice_of(l) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(&c),
+                "slice {i} got {c} of 8000 sequential lines"
+            );
+        }
+    }
+
+    #[test]
+    fn access_hits_after_fill() {
+        let mut llc = SlicedLlc::new(256 * 1024, 4, 16, 128);
+        assert!(llc.access(42, false).is_miss());
+        assert!(llc.access(42, false).is_hit());
+        assert_eq!(llc.hits(), 1);
+        assert_eq!(llc.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_split_over_slices() {
+        // Paper 128-SM LLC: 34 MB over 32 slices.
+        let total = 34 * 1024 * 1024;
+        let llc = SlicedLlc::new(total, 32, 64, 128);
+        assert_eq!(llc.capacity_bytes(), total); // divides exactly
+        assert_eq!(llc.n_slices(), 32);
+    }
+
+    #[test]
+    fn hot_line_camps_on_one_slice() {
+        let mut llc = SlicedLlc::new(256 * 1024, 4, 16, 128);
+        for _ in 0..1000 {
+            llc.access(7, false);
+        }
+        let per = llc.per_slice_accesses();
+        assert_eq!(per.iter().sum::<u64>(), 1000);
+        assert_eq!(per.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_slices() {
+        let mut llc = SlicedLlc::new(256 * 1024, 4, 16, 128);
+        llc.access(1, true);
+        llc.reset();
+        assert_eq!(llc.accesses(), 0);
+        assert!(llc.access(1, false).is_miss());
+    }
+}

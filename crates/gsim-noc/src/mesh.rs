@@ -1,0 +1,208 @@
+//! A 2-D mesh NoC with XY routing.
+//!
+//! The paper's configurations use a crossbar (Table III), whose traversal
+//! latency is independent of system size. Real large GPUs increasingly
+//! use mesh-like fabrics, where the average hop count grows with the
+//! network's side length — a *non-proportional* effect that the
+//! scale-model methodology does not model, making the mesh a useful
+//! what-if substrate: on a mesh, even a perfectly proportional scale
+//! model underestimates the target's NoC latency.
+//!
+//! The model places the `n_nodes` endpoints on the smallest square-ish
+//! grid, routes X-then-Y, charges every traversed link's bandwidth, and
+//! adds a per-hop pipeline latency.
+
+use crate::link::{BandwidthLink, LinkStats};
+
+/// A 2-D mesh with XY dimension-ordered routing.
+///
+/// # Example
+///
+/// ```
+/// use gsim_noc::Mesh;
+///
+/// let mut m = Mesh::new(16, 128.0, 3); // 4x4 mesh, 3 cycles per hop
+/// let t = m.traverse(0.0, 0, 15, 128); // corner to corner: 6 hops
+/// assert!(t >= 18.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cols: u32,
+    rows: u32,
+    /// One link per (node, direction): E, W, S, N.
+    links: Vec<BandwidthLink>,
+    hop_latency: u32,
+}
+
+/// Direction indices into the per-node link array.
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+impl Mesh {
+    /// Creates a mesh of at least `n_nodes` endpoints with
+    /// `bytes_per_cycle` per link and `hop_latency` cycles per hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero or bandwidth is non-positive.
+    pub fn new(n_nodes: u32, bytes_per_cycle: f64, hop_latency: u32) -> Self {
+        assert!(n_nodes > 0, "mesh needs at least one node");
+        let cols = (f64::from(n_nodes)).sqrt().ceil() as u32;
+        let rows = n_nodes.div_ceil(cols);
+        let links = (0..rows * cols * 4)
+            .map(|_| BandwidthLink::new(bytes_per_cycle))
+            .collect();
+        Self {
+            cols,
+            rows,
+            links,
+            hop_latency,
+        }
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.cols, self.rows)
+    }
+
+    fn coords(&self, node: u32) -> (u32, u32) {
+        (node % self.cols, node / self.cols)
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+
+    /// Average hop count under uniform traffic: `(cols + rows) / 3`,
+    /// i.e. it grows with the mesh's side length — the non-proportional
+    /// latency term a crossbar does not have.
+    pub fn mean_hops(&self) -> f64 {
+        (f64::from(self.cols) + f64::from(self.rows)) / 3.0
+    }
+
+    fn link_idx(&self, x: u32, y: u32, dir: usize) -> usize {
+        ((y * self.cols + x) * 4) as usize + dir
+    }
+
+    /// Sends `bytes` from `src` to `dst` at time `now`, charging every
+    /// traversed link; returns the arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is outside the grid.
+    pub fn traverse(&mut self, now: f64, src: u32, dst: u32, bytes: u32) -> f64 {
+        assert!(
+            src < self.cols * self.rows && dst < self.cols * self.rows,
+            "node outside the {}x{} mesh",
+            self.cols,
+            self.rows
+        );
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut t = now;
+        // X first, then Y (deadlock-free dimension order).
+        while x != dx {
+            let dir = if dx > x { EAST } else { WEST };
+            let idx = self.link_idx(x, y, dir);
+            t = self.links[idx].transfer(t, bytes) + f64::from(self.hop_latency);
+            x = if dx > x { x + 1 } else { x - 1 };
+        }
+        while y != dy {
+            let dir = if dy > y { SOUTH } else { NORTH };
+            let idx = self.link_idx(x, y, dir);
+            t = self.links[idx].transfer(t, bytes) + f64::from(self.hop_latency);
+            y = if dy > y { y + 1 } else { y - 1 };
+        }
+        t
+    }
+
+    /// Aggregate statistics over all links.
+    pub fn total_stats(&self) -> LinkStats {
+        let mut out = LinkStats::default();
+        for l in &self.links {
+            let s = l.stats();
+            out.transfers += s.transfers;
+            out.bytes += s.bytes;
+            out.queue_cycles += s.queue_cycles;
+        }
+        out
+    }
+
+    /// Resets all links.
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_delivery_is_free() {
+        let mut m = Mesh::new(16, 128.0, 3);
+        assert_eq!(m.traverse(5.0, 6, 6, 128), 5.0);
+        assert_eq!(m.hops(6, 6), 0);
+    }
+
+    #[test]
+    fn xy_route_charges_every_hop() {
+        let mut m = Mesh::new(16, 128.0, 3);
+        // Node 0 (0,0) -> node 15 (3,3): 6 hops, each 1 cycle service + 3.
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.traverse(0.0, 0, 15, 128), 24.0);
+        assert_eq!(m.total_stats().transfers, 6);
+    }
+
+    #[test]
+    fn mean_hops_grow_with_mesh_size() {
+        let small = Mesh::new(8, 128.0, 3);
+        let big = Mesh::new(128, 128.0, 3);
+        assert!(
+            big.mean_hops() > 2.0 * small.mean_hops(),
+            "latency non-proportionality: {} vs {}",
+            small.mean_hops(),
+            big.mean_hops()
+        );
+    }
+
+    #[test]
+    fn contended_link_queues() {
+        let mut m = Mesh::new(4, 128.0, 0);
+        // Both messages use the (0,0) east link first.
+        let a = m.traverse(0.0, 0, 1, 128);
+        let b = m.traverse(0.0, 0, 3, 128);
+        assert_eq!(a, 1.0);
+        assert!(b > 2.0, "second message queues on the shared first hop: {b}");
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut m = Mesh::new(16, 128.0, 0);
+        let a = m.traverse(0.0, 0, 1, 128);
+        let b = m.traverse(0.0, 14, 15, 128);
+        assert_eq!(a, 1.0);
+        assert_eq!(b, 1.0);
+    }
+
+    #[test]
+    fn non_square_counts_get_a_grid() {
+        let m = Mesh::new(6, 128.0, 1);
+        let (c, r) = m.dims();
+        assert!(c * r >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_grid_nodes() {
+        let mut m = Mesh::new(4, 128.0, 1);
+        let _ = m.traverse(0.0, 0, 99, 64);
+    }
+}

@@ -1,0 +1,111 @@
+//! Multi-chip-module (MCM) GPU configuration (paper Table V).
+
+use gsim_trace::MemScale;
+
+use crate::config::GpuConfig;
+
+/// Configuration of a multi-chiplet GPU: `n_chiplets` identical chiplets,
+/// each described by a per-chiplet [`GpuConfig`], connected by a fly
+/// topology giving every chiplet a fixed-bandwidth channel.
+///
+/// Following the paper's scale-model principle, the chiplet configuration
+/// is fixed and only the chiplet *count* (and with it the inter-chiplet
+/// network, aggregate memory bandwidth and SM count) scales with system
+/// size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipletConfig {
+    /// Number of chiplets.
+    pub n_chiplets: u32,
+    /// Per-chiplet GPU configuration.
+    pub chiplet: GpuConfig,
+    /// Inter-chiplet channel bandwidth per chiplet, GB/s (Table V: 900).
+    pub interchiplet_gbs_per_chiplet: f64,
+    /// Chiplet-crossing latency in cycles.
+    pub interchiplet_latency: u32,
+    /// Page granularity for first-touch placement, in 128 B lines
+    /// (32 lines = 4 KB pages). Must be a power of two.
+    pub page_lines: u32,
+}
+
+impl ChipletConfig {
+    /// The paper's MCM system (Table V) with `n_chiplets` chiplets:
+    /// 64 SMs per chiplet at 1.7 GHz, 18 MB LLC over 64 slices per
+    /// chiplet, 1.7 TB/s intra-chiplet crossbar, 900 GB/s per-chiplet
+    /// inter-chiplet fly network, 8 MCs totalling 1.2 TB/s per chiplet,
+    /// distributed CTA scheduling and first-touch page allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_chiplets` is zero.
+    pub fn paper_mcm(n_chiplets: u32, scale: MemScale) -> Self {
+        assert!(n_chiplets > 0, "need at least one chiplet");
+        let chiplet = GpuConfig {
+            n_sms: 64,
+            sm_clock_ghz: 1.7,
+            llc_bytes_total: scale.to_model_bytes(18 * 1024 * 1024),
+            llc_slices: 64,
+            noc_gbs: 1700.0,
+            dram_gbs_per_mc: 150.0,
+            n_mcs: 8,
+            ..GpuConfig::baseline_128sm(scale)
+        };
+        Self {
+            n_chiplets,
+            chiplet,
+            interchiplet_gbs_per_chiplet: 900.0,
+            interchiplet_latency: 80,
+            page_lines: 32,
+        }
+    }
+
+    /// Total SMs across all chiplets.
+    pub fn total_sms(&self) -> u32 {
+        self.n_chiplets * self.chiplet.n_sms
+    }
+
+    /// Derives the configuration with a different chiplet count — the MCM
+    /// analogue of proportional scaling (the chiplet itself is unchanged).
+    pub fn scaled_to_chiplets(&self, n_chiplets: u32) -> Self {
+        assert!(n_chiplets > 0, "need at least one chiplet");
+        Self {
+            n_chiplets,
+            ..self.clone()
+        }
+    }
+
+    /// Aggregate LLC capacity over all chiplets, model-unit bytes.
+    pub fn llc_bytes_total(&self) -> u64 {
+        self.chiplet.llc_bytes_total * u64::from(self.n_chiplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_5_values() {
+        let mcm = ChipletConfig::paper_mcm(16, MemScale::full());
+        assert_eq!(mcm.total_sms(), 1024); // 16 chiplets x 64 SMs
+        assert_eq!(mcm.chiplet.sm_clock_ghz, 1.7);
+        assert_eq!(mcm.chiplet.llc_bytes_total, 18 * 1024 * 1024);
+        assert_eq!(mcm.chiplet.llc_slices, 64);
+        assert!((mcm.chiplet.dram_gbs_total() - 1200.0).abs() < 1e-9);
+        assert_eq!(mcm.interchiplet_gbs_per_chiplet, 900.0);
+    }
+
+    #[test]
+    fn chiplet_scaling_keeps_chiplet_fixed() {
+        let c16 = ChipletConfig::paper_mcm(16, MemScale::default());
+        let c4 = c16.scaled_to_chiplets(4);
+        assert_eq!(c4.chiplet, c16.chiplet);
+        assert_eq!(c4.total_sms(), 256);
+        assert_eq!(c4.llc_bytes_total() * 4, c16.llc_bytes_total());
+    }
+
+    #[test]
+    fn page_lines_power_of_two() {
+        let mcm = ChipletConfig::paper_mcm(4, MemScale::default());
+        assert!(mcm.page_lines.is_power_of_two());
+    }
+}

@@ -1,0 +1,907 @@
+//! The cycle-level simulation engine.
+//!
+//! One engine serves both monolithic GPUs and multi-chiplet (MCM) GPUs: a
+//! monolithic GPU is a single memory *domain* (crossbar + sliced LLC +
+//! DRAM); an MCM GPU is one domain per chiplet plus an inter-chiplet
+//! network and first-touch page placement.
+//!
+//! The engine advances one cycle at a time while any SM can issue, and
+//! jumps directly to the next warp wake-up when none can — memory-bound
+//! phases therefore cost little simulation time, exactly like the
+//! event-driven cores of production simulators.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use gsim_mem::{BankedDramModel, Cache, CacheGeometry, DramTiming, Mshr, MshrOutcome, SlicedLlc};
+use gsim_noc::{ChipletInterconnect, Crossbar};
+use gsim_mem::DramModel;
+use gsim_trace::{MemAccess, MemSpace, Op, WarpStream, Workload, WorkloadModel};
+
+use crate::chiplet::ChipletConfig;
+use crate::config::GpuConfig;
+use crate::stats::SimStats;
+
+/// Cycles an LLC slice port is occupied by a normal access (slices are
+/// dual-banked: two accesses per cycle).
+const SLICE_OCCUPANCY: f64 = 0.5;
+/// Cycles an LLC slice port is occupied by an atomic read-modify-write:
+/// the read-modify-write turnaround serialises at the slice, which is what
+/// makes hot shared lines camp (Zhao et al.'s memory-side camping [65]).
+const ATOMIC_OCCUPANCY: f64 = 8.0;
+/// Effective fraction of a transfer charged against the bisection
+/// bandwidth: under uniform traffic only ~half of the transfers cross the
+/// bisection, and requests/responses ride separate physical networks, so a
+/// 128 B data response consumes ~a quarter of its size in bisection
+/// capacity. This keeps an LLC-resident working set serviceable at near
+/// full issue rate — the property behind the paper's post-cliff
+/// "no longer stalled waiting for memory" assumption (Section V.C.2).
+const BISECTION_FRACTION: f64 = 0.25;
+/// Response payload of an atomic (a word, not a line).
+const ATOMIC_BYTES: u32 = 32;
+
+/// The DRAM backend: flat bandwidth server (default) or the banked
+/// row-buffer model (`GpuConfig::dram_banks_per_mc > 0`).
+enum Dram {
+    Flat(DramModel),
+    Banked(BankedDramModel),
+}
+
+impl Dram {
+    fn read(&mut self, now: u64, line: u64, bytes: u32) -> u64 {
+        match self {
+            Dram::Flat(d) => d.read(now, line, bytes),
+            Dram::Banked(d) => d.read(now, line, bytes),
+        }
+    }
+
+    fn write_back(&mut self, now: u64, line: u64, bytes: u32) {
+        match self {
+            Dram::Flat(d) => d.write_back(now, line, bytes),
+            Dram::Banked(d) => d.write_back(now, line, bytes),
+        }
+    }
+}
+
+/// One memory domain: the shared memory system of a chip(let).
+struct MemDomain {
+    noc: Crossbar,
+    llc: SlicedLlc,
+    slice_free: Vec<f64>,
+    dram: Dram,
+    /// In-flight LLC fills (line -> completion cycle), for miss merging.
+    pending: HashMap<u64, u64>,
+    /// Amortised purge threshold for `pending` (doubling schedule keeps
+    /// the retain scans O(1) amortised per miss).
+    purge_at: usize,
+}
+
+impl MemDomain {
+    fn new(cfg: &GpuConfig) -> Self {
+        let llc = SlicedLlc::with_policy(
+            cfg.llc_bytes_total,
+            cfg.llc_slices,
+            cfg.llc_ways,
+            cfg.line_bytes,
+            cfg.llc_policy,
+        );
+        Self {
+            noc: Crossbar::from_gbs(cfg.noc_gbs, cfg.sm_clock_ghz, cfg.noc_hop_latency),
+            slice_free: vec![0.0; cfg.llc_slices as usize],
+            llc,
+            dram: if cfg.dram_banks_per_mc > 0 {
+                Dram::Banked(BankedDramModel::new(
+                    cfg.n_mcs,
+                    cfg.dram_banks_per_mc,
+                    cfg.dram_gbs_per_mc,
+                    cfg.sm_clock_ghz,
+                    DramTiming::default(),
+                ))
+            } else {
+                Dram::Flat(DramModel::new(
+                    cfg.n_mcs,
+                    cfg.dram_gbs_per_mc,
+                    cfg.sm_clock_ghz,
+                    cfg.dram_latency,
+                ))
+            },
+            pending: HashMap::new(),
+            purge_at: 8192,
+        }
+    }
+}
+
+/// What kind of request enters the shared memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Load,
+    Store,
+    Atomic,
+}
+
+struct WarpCtx<S> {
+    stream: S,
+    pending_compute: u16,
+    cta: u32,
+    age: u64,
+}
+
+struct Sm<S> {
+    l1: Cache,
+    mshr: Mshr,
+    warps: Vec<Option<WarpCtx<S>>>,
+    /// Ready warp indices sorted by age ascending (front = oldest).
+    ready: Vec<u32>,
+    blocked: BinaryHeap<Reverse<(u64, u32)>>,
+    last_issued: Option<u32>,
+    free_slots: Vec<u32>,
+    /// CTA id -> warps still running, for resident CTAs.
+    cta_remaining: HashMap<u32, u32>,
+    live_warps: u32,
+    chiplet: u32,
+}
+
+impl<S> Sm<S> {
+    fn new(cfg: &GpuConfig, chiplet: u32) -> Self {
+        let n = cfg.warps_per_sm;
+        Self {
+            l1: Cache::new(CacheGeometry::new(
+                cfg.l1_bytes,
+                cfg.l1_ways,
+                cfg.line_bytes,
+            )),
+            mshr: Mshr::new(cfg.l1_mshrs as usize),
+            warps: (0..n).map(|_| None).collect(),
+            ready: Vec::with_capacity(n as usize),
+            blocked: BinaryHeap::with_capacity(n as usize),
+            last_issued: None,
+            free_slots: (0..n).rev().collect(),
+            cta_remaining: HashMap::new(),
+            live_warps: 0,
+            chiplet,
+        }
+    }
+
+    fn insert_ready(&mut self, warp: u32) {
+        let age = self.warps[warp as usize].as_ref().expect("live warp").age;
+        let pos = self
+            .ready
+            .partition_point(|&w| self.warps[w as usize].as_ref().expect("live").age < age);
+        self.ready.insert(pos, warp);
+    }
+
+    /// Greedy-Then-Oldest: keep issuing the last-issued warp while it is
+    /// ready; otherwise pick the oldest ready warp.
+    fn pick(&mut self) -> Option<u32> {
+        if let Some(w) = self.last_issued {
+            if let Some(pos) = self.ready.iter().position(|&r| r == w) {
+                self.ready.remove(pos);
+                return Some(w);
+            }
+        }
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+}
+
+/// The GPU timing simulator.
+///
+/// Create one per (configuration, workload) pair and call
+/// [`Simulator::run`]; the simulator is deterministic for a given workload
+/// seed.
+pub struct Simulator<'wl, W: WorkloadModel = Workload> {
+    cfg: GpuConfig,
+    wl: &'wl W,
+    sms: Vec<Sm<W::Stream>>,
+    domains: Vec<MemDomain>,
+    icn: Option<ChipletInterconnect>,
+    page_owner: HashMap<u64, u32>,
+    page_shift: u32,
+    // kernel sequencing
+    kernel_idx: usize,
+    next_cta: u32,
+    ctas_in_flight: u32,
+    dispatch_age: u64,
+    /// Instruction milestones bounding the sustained-IPC window.
+    milestone_10: u64,
+    milestone_90: u64,
+    /// Cycle at which the current kernel started (for per-kernel cycles).
+    kernel_start_cycle: u64,
+    stats: SimStats,
+}
+
+impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
+    /// Creates a monolithic-GPU simulation of `wl` on `cfg`. `wl` may be
+    /// a synthetic [`Workload`] or a recorded
+    /// [`TracedWorkload`](gsim_trace::TracedWorkload).
+    pub fn new(cfg: GpuConfig, wl: &'wl W) -> Self {
+        let sms = (0..cfg.n_sms).map(|_| Sm::new(&cfg, 0)).collect();
+        let domains = vec![MemDomain::new(&cfg)];
+        Self {
+            sms,
+            domains,
+            icn: None,
+            page_owner: HashMap::new(),
+            page_shift: 5,
+            kernel_idx: 0,
+            next_cta: 0,
+            ctas_in_flight: 0,
+            dispatch_age: 0,
+            milestone_10: wl.approx_warp_instrs() / 10,
+            milestone_90: wl.approx_warp_instrs() * 9 / 10,
+            kernel_start_cycle: 0,
+            stats: SimStats::default(),
+            cfg,
+            wl,
+        }
+    }
+
+    /// Creates a multi-chiplet simulation of `wl` on `mcm` (Section VII.D):
+    /// one memory domain per chiplet, first-touch page placement, and a
+    /// bandwidth-limited inter-chiplet network for remote accesses.
+    pub fn new_mcm(mcm: &ChipletConfig, wl: &'wl W) -> Self {
+        let per = &mcm.chiplet;
+        let n_chiplets = mcm.n_chiplets;
+        let total_sms = per.n_sms * n_chiplets;
+        let sms = (0..total_sms)
+            .map(|i| Sm::new(per, i / per.n_sms))
+            .collect();
+        let domains = (0..n_chiplets).map(|_| MemDomain::new(per)).collect();
+        let mut cfg = per.clone();
+        cfg.n_sms = total_sms;
+        Self {
+            sms,
+            domains,
+            icn: Some(ChipletInterconnect::from_gbs(
+                n_chiplets,
+                mcm.interchiplet_gbs_per_chiplet,
+                per.sm_clock_ghz,
+                mcm.interchiplet_latency,
+            )),
+            page_owner: HashMap::new(),
+            page_shift: mcm.page_lines.trailing_zeros(),
+            kernel_idx: 0,
+            next_cta: 0,
+            ctas_in_flight: 0,
+            dispatch_age: 0,
+            milestone_10: wl.approx_warp_instrs() / 10,
+            milestone_90: wl.approx_warp_instrs() * 9 / 10,
+            kernel_start_cycle: 0,
+            stats: SimStats::default(),
+            cfg,
+            wl,
+        }
+    }
+
+    /// The effective configuration (for MCM runs, the per-chiplet config
+    /// with `n_sms` set to the system total).
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// `(n_ctas, threads_per_cta)` of the kernel currently dispatching.
+    fn cur_grid(&self) -> (u32, u32) {
+        self.wl.grid(self.kernel_idx)
+    }
+
+    /// Domain owning `line` (first-touch page placement for MCM; always 0
+    /// for monolithic GPUs).
+    fn owner_of(&mut self, line: u64, toucher: u32) -> u32 {
+        if self.domains.len() == 1 {
+            return 0;
+        }
+        let page = line >> self.page_shift;
+        *self.page_owner.entry(page).or_insert(toucher)
+    }
+
+    /// Sends one transaction into the shared memory system; returns the
+    /// cycle its response reaches the requesting SM.
+    fn mem_request(&mut self, now: u64, sm_chiplet: u32, line: u64, kind: ReqKind) -> u64 {
+        let owner = self.owner_of(line, sm_chiplet);
+        let remote = owner != sm_chiplet;
+        let dom = &mut self.domains[owner as usize];
+        let hop = f64::from(dom.noc.hop_latency());
+
+        // Request travel: local crossbar hop (+ chiplet crossing if remote).
+        let mut t = now as f64 + hop;
+        if remote {
+            let icn = self.icn.as_mut().expect("remote access implies MCM");
+            t += f64::from(icn.crossing_latency());
+        }
+
+        // Slice port (camping point).
+        let slice = dom.llc.slice_of(line) as usize;
+        let occupancy = if kind == ReqKind::Atomic {
+            ATOMIC_OCCUPANCY
+        } else {
+            SLICE_OCCUPANCY
+        };
+        let start = dom.slice_free[slice].max(t);
+        dom.slice_free[slice] = start + occupancy;
+        let tag_done = start + f64::from(self.cfg.llc_latency);
+
+        // Tag lookup; eager fill with an in-flight merge map for timing.
+        let is_write = kind == ReqKind::Store;
+        let line_bytes = self.cfg.line_bytes;
+        let result = dom.llc.access(line, is_write);
+        self.stats.llc_accesses += 1;
+        let data_at_llc = if result.is_hit() {
+            match dom.pending.get(&line) {
+                Some(&fill) if fill > now => fill as f64,
+                _ => tag_done,
+            }
+        } else {
+            self.stats.llc_misses += 1;
+            if let Some(victim) = result.evicted() {
+                if victim.dirty {
+                    dom.dram.write_back(tag_done as u64, victim.line_addr, line_bytes);
+                    self.stats.dram_bytes += u64::from(line_bytes);
+                }
+            }
+            let fill = dom.dram.read(tag_done as u64, line, line_bytes);
+            self.stats.dram_bytes += u64::from(line_bytes);
+            if dom.pending.len() >= dom.purge_at {
+                dom.pending.retain(|_, done| *done > now);
+                dom.purge_at = (dom.pending.len() * 2).max(8192);
+            }
+            dom.pending.insert(line, fill);
+            fill as f64
+        };
+
+        // Response travel: bisection bandwidth + hop (+ chiplet crossing).
+        let payload = if kind == ReqKind::Atomic {
+            ATOMIC_BYTES
+        } else {
+            line_bytes
+        };
+        let eff = ((f64::from(payload) * BISECTION_FRACTION) as u32).max(1);
+        let mut data_at_sm = dom.noc.traverse(data_at_llc, eff);
+        if remote {
+            let icn = self.icn.as_mut().expect("remote access implies MCM");
+            data_at_sm = data_at_sm.max(icn.traverse(data_at_llc, owner, sm_chiplet, payload));
+        }
+        (data_at_sm.ceil() as u64).max(now + 1)
+    }
+
+    /// Issues one memory op from an SM; returns the wake cycle if the warp
+    /// must block.
+    fn issue_mem(&mut self, sm_idx: usize, now: u64, op: &Op, access: &MemAccess) -> Option<u64> {
+        let chiplet = self.sms[sm_idx].chiplet;
+        let l1_lat = u64::from(self.cfg.l1_latency);
+        let kind = match op {
+            Op::Load(_) => ReqKind::Load,
+            Op::Store(_) => ReqKind::Store,
+            Op::Atomic(_) => ReqKind::Atomic,
+            Op::Compute { .. } => unreachable!("compute is not a memory op"),
+        };
+        let mut wake = now + 1;
+        for line in access.lines() {
+            match (kind, access.space) {
+                (ReqKind::Load, MemSpace::Global) => {
+                    // L1 lookup (write-through caches: loads only).
+                    self.stats.l1_accesses += 1;
+                    let t0 = now + l1_lat;
+                    let sm = &mut self.sms[sm_idx];
+                    if sm.l1.access(line, false).is_hit() {
+                        let ready = match sm.mshr.pending_fill(line) {
+                            Some(fill) if fill > now => fill,
+                            _ => t0,
+                        };
+                        wake = wake.max(ready);
+                    } else {
+                        self.stats.l1_misses += 1;
+                        if self.sms[sm_idx].mshr.is_full() {
+                            self.sms[sm_idx].mshr.complete_up_to(now);
+                        }
+                        let fill = self.mem_request(t0, chiplet, line, ReqKind::Load);
+                        match self.sms[sm_idx].mshr.register(line, fill) {
+                            MshrOutcome::Allocated | MshrOutcome::Full => {}
+                            MshrOutcome::Merged(f) => {
+                                // A merge cannot be slower than a re-fetch.
+                                wake = wake.max(f.min(fill));
+                                continue;
+                            }
+                        }
+                        wake = wake.max(fill);
+                    }
+                }
+                (ReqKind::Store, _) => {
+                    // Write-through, no-write-allocate: straight to the LLC.
+                    let _ = self.mem_request(now + l1_lat, chiplet, line, ReqKind::Store);
+                }
+                _ => {
+                    // Atomics (and any bypassing access) skip the L1.
+                    let ready = self.mem_request(now, chiplet, line, kind);
+                    wake = wake.max(ready);
+                }
+            }
+        }
+        if op.blocks_warp() {
+            Some(wake)
+        } else {
+            None
+        }
+    }
+
+    /// Dispatches CTAs of the current kernel round-robin across all SMs
+    /// (Table III: round-robin CTA scheduling), used at kernel launch.
+    fn dispatch_round_robin(&mut self) {
+        loop {
+            let mut progress = false;
+            for i in 0..self.sms.len() {
+                if self.try_dispatch_one(i) {
+                    progress = true;
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// Dispatches at most one CTA of the current kernel onto `sm`;
+    /// returns whether one was placed.
+    fn try_dispatch_one(&mut self, sm_idx: usize) -> bool {
+        let kernel_idx = self.kernel_idx;
+        if kernel_idx >= self.wl.n_kernels() {
+            return false;
+        }
+        let (n_ctas, threads_per_cta) = self.cur_grid();
+        let warps_per_cta = self.wl.warps_per_cta(kernel_idx);
+        let max_ctas = self.cfg.ctas_per_sm(threads_per_cta);
+        {
+            if self.next_cta >= n_ctas {
+                return false;
+            }
+            let sm = &mut self.sms[sm_idx];
+            if sm.cta_remaining.len() >= max_ctas as usize
+                || (sm.free_slots.len() as u32) < warps_per_cta
+            {
+                return false;
+            }
+            let cta = self.next_cta;
+            self.next_cta += 1;
+            self.ctas_in_flight += 1;
+            for w in 0..warps_per_cta {
+                let stream = self.wl.warp_stream(kernel_idx, cta, w);
+                let sm = &mut self.sms[sm_idx];
+                let slot = sm.free_slots.pop().expect("checked free slots");
+                self.dispatch_age += 1;
+                sm.warps[slot as usize] = Some(WarpCtx {
+                    stream,
+                    pending_compute: 0,
+                    cta,
+                    age: self.dispatch_age,
+                });
+                sm.live_warps += 1;
+                sm.insert_ready(slot);
+            }
+            self.sms[sm_idx].cta_remaining.insert(cta, warps_per_cta);
+            true
+        }
+    }
+
+    /// Retires warp `warp` of SM `sm_idx` at cycle `now`; returns `true`
+    /// if its CTA (and possibly the kernel) completed.
+    fn retire_warp(&mut self, sm_idx: usize, warp: u32, now: u64) -> bool {
+        let sm = &mut self.sms[sm_idx];
+        let ctx = sm.warps[warp as usize].take().expect("retiring a live warp");
+        sm.free_slots.push(warp);
+        sm.live_warps -= 1;
+        if sm.last_issued == Some(warp) {
+            sm.last_issued = None;
+        }
+        let remaining = sm
+            .cta_remaining
+            .get_mut(&ctx.cta)
+            .expect("warp belongs to a resident CTA");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return false;
+        }
+        sm.cta_remaining.remove(&ctx.cta);
+        self.ctas_in_flight -= 1;
+        self.stats.ctas_executed += 1;
+        self.try_dispatch_one(sm_idx);
+        if self.ctas_in_flight == 0 && self.next_cta >= self.cur_grid().0 {
+            // Kernel barrier reached: move to the next kernel.
+            self.stats.kernels_executed += 1;
+            self.stats.kernel_cycles.push(now - self.kernel_start_cycle);
+            self.kernel_start_cycle = now;
+            self.kernel_idx += 1;
+            self.next_cta = 0;
+            if self.kernel_idx < self.wl.n_kernels() {
+                self.dispatch_round_robin();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Tries to issue one instruction on SM `sm_idx`; returns `true` if an
+    /// instruction issued this cycle.
+    fn issue_sm(&mut self, sm_idx: usize, now: u64) -> bool {
+        loop {
+            let Some(warp) = self.sms[sm_idx].pick() else {
+                return false;
+            };
+            // Fast path: batched compute.
+            {
+                let sm = &mut self.sms[sm_idx];
+                let ctx = sm.warps[warp as usize].as_mut().expect("picked live warp");
+                if ctx.pending_compute > 0 {
+                    ctx.pending_compute -= 1;
+                    sm.last_issued = Some(warp);
+                    sm.insert_ready(warp);
+                    self.stats.warp_instrs += 1;
+                    return true;
+                }
+            }
+            let op = {
+                let sm = &mut self.sms[sm_idx];
+                let ctx = sm.warps[warp as usize].as_mut().expect("picked live warp");
+                ctx.stream.next_op()
+            };
+            match op {
+                None => {
+                    // Warp retired; pick another warp this same cycle.
+                    self.retire_warp(sm_idx, warp, now);
+                    continue;
+                }
+                Some(Op::Compute { n }) => {
+                    let sm = &mut self.sms[sm_idx];
+                    let ctx = sm.warps[warp as usize].as_mut().expect("live");
+                    ctx.pending_compute = n - 1;
+                    sm.last_issued = Some(warp);
+                    sm.insert_ready(warp);
+                    self.stats.warp_instrs += 1;
+                    return true;
+                }
+                Some(op) => {
+                    let access = *op.mem().expect("memory op");
+                    let wake = self.issue_mem(sm_idx, now, &op, &access);
+                    self.stats.warp_instrs += 1;
+                    let sm = &mut self.sms[sm_idx];
+                    sm.last_issued = Some(warp);
+                    match wake {
+                        Some(w) => sm.blocked.push(Reverse((w, warp))),
+                        None => sm.insert_ready(warp),
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Runs the workload to completion and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        let wall = Instant::now();
+        self.dispatch_round_robin();
+        let mut now: u64 = 0;
+        loop {
+            // Wake phase.
+            for sm in &mut self.sms {
+                while let Some(&Reverse((t, w))) = sm.blocked.peek() {
+                    if t <= now {
+                        sm.blocked.pop();
+                        sm.insert_ready(w);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Issue phase.
+            let mut any_issue = false;
+            for i in 0..self.sms.len() {
+                if self.issue_sm(i, now) {
+                    any_issue = true;
+                } else if self.sms[i].live_warps > 0 {
+                    self.stats.mem_stall_sm_cycles += 1;
+                } else {
+                    self.stats.idle_sm_cycles += 1;
+                }
+            }
+            if self.stats.cycle_at_10pct == 0 && self.stats.warp_instrs >= self.milestone_10 {
+                self.stats.cycle_at_10pct = now + 1;
+            }
+            if self.stats.cycle_at_90pct == 0 && self.stats.warp_instrs >= self.milestone_90 {
+                self.stats.cycle_at_90pct = now + 1;
+                self.stats.warp_instrs_window =
+                    self.stats.warp_instrs - self.milestone_10;
+            }
+            if self.kernel_idx >= self.wl.n_kernels() {
+                now += 1;
+                break;
+            }
+            if any_issue {
+                now += 1;
+                continue;
+            }
+            // Nothing issued anywhere: jump to the next wake-up.
+            let next_wake = self
+                .sms
+                .iter()
+                .filter_map(|sm| sm.blocked.peek().map(|&Reverse((t, _))| t))
+                .min();
+            if self.sms.iter().any(|sm| !sm.ready.is_empty()) {
+                // A kernel boundary inside this cycle's issue phase made
+                // warps ready on SMs that were already visited; give them
+                // the next cycle.
+                now += 1;
+                continue;
+            }
+            let Some(next_wake) = next_wake else {
+                // No ready warps, no blocked warps, nothing issued:
+                // completion.
+                break;
+            };
+            let dt = next_wake.saturating_sub(now + 1);
+            if dt > 0 {
+                for sm in &self.sms {
+                    if sm.live_warps > 0 {
+                        self.stats.mem_stall_sm_cycles += dt;
+                    } else {
+                        self.stats.idle_sm_cycles += dt;
+                    }
+                }
+            }
+            now = next_wake;
+        }
+        self.stats.cycles = now;
+        self.stats.total_sm_cycles = now * self.sms.len() as u64;
+        self.stats.thread_instrs = self.stats.warp_instrs * 32;
+        self.stats.sim_wall_seconds = wall.elapsed().as_secs_f64();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec};
+
+    fn small_cfg(n_sms: u32) -> GpuConfig {
+        GpuConfig::paper_target(n_sms, MemScale::default())
+    }
+
+    fn sweep_workload(footprint_lines: u64, passes: u32, ctas: u32) -> Workload {
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes }, footprint_lines)
+            .compute_per_mem(1.5);
+        Workload::new("t", 9, vec![Kernel::new("k", ctas, 256, spec)])
+    }
+
+    #[test]
+    fn compute_only_workload_reaches_full_issue_rate() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 1)
+            .compute_per_mem(0.0)
+            .tail_compute(5_000);
+        let wl = Workload::new("c", 1, vec![Kernel::new("k", 96, 256, spec)]);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        // 8 SMs x 1 warp instr/cycle = up to 256 thread IPC.
+        assert!(
+            stats.ipc() > 0.9 * 256.0,
+            "compute-bound IPC {} should approach 256",
+            stats.ipc()
+        );
+        assert!(stats.f_mem() < 0.05);
+    }
+
+    #[test]
+    fn memory_bound_workload_stalls() {
+        let wl = sweep_workload(200_000, 2, 96);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_mem() > 0.2, "f_mem {} too low", stats.f_mem());
+        assert!(stats.mpki() > 1.0, "MPKI {}", stats.mpki());
+        assert!(stats.ipc() < 200.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = sweep_workload(20_000, 2, 48);
+        let a = Simulator::new(small_cfg(8), &wl).run();
+        let mut b = Simulator::new(small_cfg(8), &wl).run();
+        b.sim_wall_seconds = a.sim_wall_seconds;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_instructions_are_executed() {
+        let wl = sweep_workload(10_000, 2, 48);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.warp_instrs, wl.approx_warp_instrs());
+        assert_eq!(stats.ctas_executed, 48);
+        assert_eq!(stats.kernels_executed, 1);
+    }
+
+    #[test]
+    fn fitting_working_set_is_faster_than_thrashing() {
+        // Same instruction volume; one footprint fits the 8-SM LLC
+        // (2.125 MB / 8 = 2176 lines), one does not.
+        let fits = sweep_workload(1_500, 8, 48);
+        let thrash = sweep_workload(60_000, 8, 48);
+        let f = Simulator::new(small_cfg(8), &fits).run();
+        let t = Simulator::new(small_cfg(8), &thrash).run();
+        assert!(
+            f.ipc() > 1.5 * t.ipc() * (f.warp_instrs as f64 / t.warp_instrs as f64).min(1.0),
+            "fitting {} vs thrashing {}",
+            f.ipc(),
+            t.ipc()
+        );
+        assert!(f.mpki() < t.mpki() / 2.0);
+    }
+
+    #[test]
+    fn more_sms_with_proportional_resources_scale_throughput() {
+        let wl = sweep_workload(60_000, 3, 768);
+        let s8 = Simulator::new(small_cfg(8), &wl).run();
+        let s16 = Simulator::new(small_cfg(16), &wl).run();
+        let speedup = s16.ipc() / s8.ipc();
+        assert!(
+            (1.5..2.5).contains(&speedup),
+            "8->16 SM speedup {speedup} should be ~2 for a pre-cliff sweep"
+        );
+    }
+
+    #[test]
+    fn too_few_ctas_leave_sms_idle() {
+        // 4 CTAs round-robin onto an 8-SM machine: half the SMs idle.
+        let wl = sweep_workload(20_000, 4, 4);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_idle() > 0.3, "f_idle {}", stats.f_idle());
+    }
+
+    #[test]
+    fn round_robin_spreads_small_grids() {
+        // 8 CTAs on 8 SMs: one per SM, so no SM sits idle.
+        let wl = sweep_workload(20_000, 4, 8);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_idle() < 0.15, "f_idle {}", stats.f_idle());
+    }
+
+    #[test]
+    fn tiny_mid_kernel_does_not_end_the_run() {
+        // Regression: a kernel smaller than one SM's slot budget used to
+        // strand its freshly dispatched warps when the previous kernel's
+        // last warp retired mid-issue-phase, ending the simulation early.
+        let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
+        let wl = Workload::new(
+            "seq",
+            3,
+            vec![
+                Kernel::new("big1", 96, 256, spec()),
+                Kernel::new("tiny", 4, 256, spec()),
+                Kernel::new("big2", 96, 256, spec()),
+            ],
+        );
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.kernels_executed, 3);
+        assert_eq!(stats.ctas_executed, 196);
+        assert_eq!(stats.warp_instrs, wl.approx_warp_instrs());
+    }
+
+    #[test]
+    fn trace_replay_is_cycle_identical_to_execution_driven() {
+        // The trace-driven front-end (Accel-Sim's mode of operation) must
+        // reproduce the execution-driven run exactly.
+        let wl = sweep_workload(10_000, 2, 48);
+        let mut bytes = Vec::new();
+        gsim_trace::write_trace(&wl, &mut bytes).expect("trace serialises");
+        let traced = gsim_trace::TracedWorkload::read(&bytes[..]).expect("trace loads");
+        let mut a = Simulator::new(small_cfg(8), &wl).run();
+        let mut b = Simulator::new(small_cfg(8), &traced).run();
+        a.sim_wall_seconds = 0.0;
+        b.sim_wall_seconds = 0.0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn banked_dram_punishes_random_traffic_more_than_streams() {
+        let mut banked_cfg = small_cfg(8);
+        banked_cfg.dram_banks_per_mc = 16;
+        let stream = sweep_workload(60_000, 2, 96);
+        let random = {
+            let spec = PatternSpec::new(PatternKind::PointerChase, 60_000)
+                .mem_ops_per_warp(40)
+                .compute_per_mem(1.5);
+            Workload::new("rnd", 5, vec![Kernel::new("k", 96, 256, spec)])
+        };
+        let slowdown = |wl: &Workload| {
+            let flat = Simulator::new(small_cfg(8), wl).run().ipc();
+            let banked = Simulator::new(banked_cfg.clone(), wl).run().ipc();
+            flat / banked
+        };
+        let s_stream = slowdown(&stream);
+        let s_random = slowdown(&random);
+        assert!(
+            s_random > s_stream,
+            "row-buffer locality must matter: stream x{s_stream:.2} vs random x{s_random:.2}"
+        );
+    }
+
+    #[test]
+    fn mcm_simulation_runs_and_scales_with_chiplets() {
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 60_000)
+            .compute_per_mem(2.0);
+        let kernel = Kernel::new("k", 1536, 256, spec);
+        let wl2 = Workload::new("m2", 11, vec![kernel.clone()]);
+        let mcm2 = ChipletConfig::paper_mcm(2, MemScale::default());
+        let mcm4 = ChipletConfig::paper_mcm(4, MemScale::default());
+        let s2 = Simulator::new_mcm(&mcm2, &wl2).run();
+        let s4 = Simulator::new_mcm(&mcm4, &wl2).run();
+        assert_eq!(s2.warp_instrs, wl2.approx_warp_instrs());
+        assert!(
+            s4.ipc() > 1.3 * s2.ipc(),
+            "more chiplets must help: {} -> {}",
+            s2.ipc(),
+            s4.ipc()
+        );
+    }
+
+    #[test]
+    fn mcm_is_deterministic() {
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::PointerChase, 20_000)
+            .mem_ops_per_warp(10)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("m", 12, vec![Kernel::new("k", 512, 256, spec)]);
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let mut a = Simulator::new_mcm(&mcm, &wl).run();
+        let mut b = Simulator::new_mcm(&mcm, &wl).run();
+        a.sim_wall_seconds = 0.0;
+        b.sim_wall_seconds = 0.0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monolithic_beats_equal_size_mcm_on_shared_data() {
+        // Remote first-touch traffic through the 900 GB/s inter-chiplet
+        // links must cost something relative to a monolithic chip with
+        // the same SM count and aggregate resources.
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 120_000)
+            .compute_per_mem(1.0);
+        let kernel = Kernel::new("k", 1536, 256, spec);
+        let wl = Workload::new("mono-vs-mcm", 13, vec![kernel.clone(), kernel]);
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let mono = GpuConfig {
+            n_sms: 128,
+            sm_clock_ghz: mcm.chiplet.sm_clock_ghz,
+            llc_bytes_total: mcm.chiplet.llc_bytes_total * 2,
+            llc_slices: mcm.chiplet.llc_slices * 2,
+            noc_gbs: mcm.chiplet.noc_gbs * 2.0,
+            n_mcs: mcm.chiplet.n_mcs * 2,
+            ..GpuConfig::paper_target(128, MemScale::default())
+        };
+        let s_mcm = Simulator::new_mcm(&mcm, &wl).run();
+        let s_mono = Simulator::new(mono, &wl).run();
+        assert!(
+            s_mono.ipc() > s_mcm.ipc(),
+            "inter-chiplet crossing must cost: mono {} vs mcm {}",
+            s_mono.ipc(),
+            s_mcm.ipc()
+        );
+    }
+
+    #[test]
+    fn kernels_execute_sequentially() {
+        let spec = || {
+            PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0)
+        };
+        let wl = Workload::new(
+            "seq",
+            3,
+            vec![
+                Kernel::new("k0", 48, 256, spec()),
+                Kernel::new("k1", 48, 256, spec()),
+            ],
+        );
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.kernels_executed, 2);
+        assert_eq!(stats.ctas_executed, 96);
+    }
+}

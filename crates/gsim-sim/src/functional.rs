@@ -1,0 +1,277 @@
+//! Functional simulation for miss-rate-curve collection.
+//!
+//! Section V.A: miss-rate curves must come from *functional* simulation —
+//! a replay of the workload's address stream — because that is orders of
+//! magnitude faster than detailed timing simulation, and the curve is a
+//! one-time cost reused for every target-system prediction.
+//!
+//! Like the GPU cache model of Nugteren et al. [49], the collector models
+//! the thread-level parallelism that shapes GPU reuse distances: resident
+//! CTAs are scheduled round-robin onto SMs, all resident warps advance one
+//! operation per round, loads filter through their SM's L1, and the
+//! post-L1 stream feeds one set-associative sliced LLC per candidate
+//! capacity ([`gsim_mem::mrc::CapacityReplay`]).
+
+use gsim_mem::mrc::{CapacityReplay, MissRateCurve};
+use gsim_mem::{Cache, CacheGeometry};
+use gsim_trace::{MemSpace, Op, SpecStream, WarpStream, Workload, THREADS_PER_WARP};
+
+use crate::config::GpuConfig;
+
+/// Functional replay of a workload through L1s and multi-capacity LLCs.
+#[derive(Debug)]
+pub struct FunctionalReplay {
+    l1_geom: CacheGeometry,
+    n_sms: u32,
+    replay: CapacityReplay,
+    thread_instrs: u64,
+    llc_accesses: u64,
+}
+
+impl FunctionalReplay {
+    /// Creates a replay with LLC candidates `(model_bytes, slices)` and the
+    /// L1/occupancy parameters of `cfg`; the interleaving emulates
+    /// `cfg.n_sms` SMs.
+    pub fn new(cfg: &GpuConfig, capacities: &[(u64, u32)]) -> Self {
+        Self {
+            l1_geom: CacheGeometry::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes),
+            n_sms: cfg.n_sms,
+            replay: CapacityReplay::new(capacities, cfg.llc_ways, cfg.line_bytes),
+            thread_instrs: 0,
+            llc_accesses: 0,
+        }
+    }
+
+    /// Replays the whole workload. May be called once.
+    pub fn run(&mut self, wl: &Workload, ctas_per_sm_of: impl Fn(u32) -> u32) {
+        for (kidx, kernel) in wl.kernels().iter().enumerate() {
+            let warps_per_cta = kernel.warps_per_cta();
+            let max_ctas = ctas_per_sm_of(kernel.threads_per_cta()).max(1);
+            let mut next_cta: u32 = 0;
+            // Per-SM resident warp streams (flattened CTA slots).
+            let mut resident: Vec<Vec<(u32, SpecStream)>> =
+                (0..self.n_sms).map(|_| Vec::new()).collect();
+            let mut cta_live: Vec<u32> = vec![0; kernel.n_ctas() as usize];
+            let mut l1s: Vec<Cache> = (0..self.n_sms)
+                .map(|_| Cache::new(self.l1_geom))
+                .collect();
+            // Initial fill.
+            for slot in resident.iter_mut() {
+                while slot.len() < (max_ctas * warps_per_cta) as usize
+                    && next_cta < kernel.n_ctas()
+                {
+                    let cta = next_cta;
+                    next_cta += 1;
+                    cta_live[cta as usize] = warps_per_cta;
+                    for w in 0..warps_per_cta {
+                        slot.push((cta, kernel.warp_stream(wl, kidx, cta, w)));
+                    }
+                }
+            }
+            // Round-robin advance: one op per resident warp per round.
+            let mut live = true;
+            while live {
+                live = false;
+                for sm in 0..self.n_sms as usize {
+                    let mut i = 0;
+                    while i < resident[sm].len() {
+                        let (cta, stream) = &mut resident[sm][i];
+                        match stream.next_op() {
+                            Some(op) => {
+                                live = true;
+                                self.thread_instrs +=
+                                    op.warp_instrs() * u64::from(THREADS_PER_WARP);
+                                self.process(&mut l1s[sm], &op);
+                                i += 1;
+                            }
+                            None => {
+                                let cta = *cta;
+                                resident[sm].swap_remove(i);
+                                cta_live[cta as usize] -= 1;
+                                if cta_live[cta as usize] == 0 {
+                                    // Slot freed: pull the next CTA.
+                                    while resident[sm].len()
+                                        < (max_ctas * warps_per_cta) as usize
+                                        && next_cta < kernel.n_ctas()
+                                    {
+                                        let c = next_cta;
+                                        next_cta += 1;
+                                        cta_live[c as usize] = warps_per_cta;
+                                        for w in 0..warps_per_cta {
+                                            resident[sm].push((
+                                                c,
+                                                kernel.warp_stream(wl, kidx, c, w),
+                                            ));
+                                        }
+                                        live = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, l1: &mut Cache, op: &Op) {
+        let Some(access) = op.mem() else { return };
+        for line in access.lines() {
+            match (op, access.space) {
+                (Op::Load(_), MemSpace::Global) => {
+                    if l1.access(line, false).is_miss() {
+                        self.llc_accesses += 1;
+                        self.replay.access(line, false);
+                    }
+                }
+                (Op::Store(_), _) => {
+                    // Write-through, no-write-allocate.
+                    self.llc_accesses += 1;
+                    self.replay.access(line, true);
+                }
+                _ => {
+                    // Atomics and bypassing loads skip the L1.
+                    self.llc_accesses += 1;
+                    self.replay.access(line, false);
+                }
+            }
+        }
+    }
+
+    /// Thread instructions replayed.
+    pub fn thread_instrs(&self) -> u64 {
+        self.thread_instrs
+    }
+
+    /// Post-L1 LLC accesses replayed.
+    pub fn llc_accesses(&self) -> u64 {
+        self.llc_accesses
+    }
+
+    /// The miss-rate curve (model-unit capacities → MPKI).
+    pub fn curve(&self) -> MissRateCurve {
+        let mpki = self.replay.mpki(self.thread_instrs);
+        MissRateCurve::from_pairs(
+            self.replay
+                .capacities()
+                .iter()
+                .copied()
+                .zip(mpki.iter().copied()),
+        )
+    }
+}
+
+/// Collects a workload's miss-rate curve over the LLC capacities of
+/// `configs` (typically the scale models and candidate targets), using the
+/// largest config's parallelism for the interleave — the one-time cost of
+/// the paper's Figure 3 workflow.
+///
+/// # Example
+///
+/// ```
+/// use gsim_sim::{collect_mrc, GpuConfig};
+/// use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
+///
+/// let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 3 }, 3000);
+/// let wl = Workload::new("demo", 5, vec![Kernel::new("k", 96, 256, spec)]);
+/// let configs: Vec<GpuConfig> = [8u32, 16, 32]
+///     .iter()
+///     .map(|&s| GpuConfig::paper_target(s, MemScale::default()))
+///     .collect();
+/// let mrc = collect_mrc(&wl, &configs);
+/// assert_eq!(mrc.len(), 3);
+/// ```
+pub fn collect_mrc(wl: &Workload, configs: &[GpuConfig]) -> MissRateCurve {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let caps: Vec<(u64, u32)> = configs
+        .iter()
+        .map(|c| (c.llc_bytes_total, c.llc_slices))
+        .collect();
+    let biggest = configs
+        .iter()
+        .max_by_key(|c| c.n_sms)
+        .expect("non-empty configs");
+    let mut replay = FunctionalReplay::new(biggest, &caps);
+    replay.run(wl, |threads_per_cta| biggest.ctas_per_sm(threads_per_cta));
+    replay.curve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec};
+
+    fn configs() -> Vec<GpuConfig> {
+        [8u32, 16, 32, 64, 128]
+            .iter()
+            .map(|&s| GpuConfig::paper_target(s, MemScale::default()))
+            .collect()
+    }
+
+    #[test]
+    fn cliff_appears_where_the_working_set_fits() {
+        // A 6000-line working set re-swept across kernel launches:
+        // thrashes the 8/16-SM LLCs (2176/4352 lines), fits from the
+        // 32-SM LLC (8704 lines) up.
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 6_000)
+            .compute_per_mem(1.0);
+        let kernel = Kernel::new("k", 192, 256, spec);
+        let wl = Workload::new("cliff", 2, vec![kernel; 6]);
+        let mrc = collect_mrc(&wl, &configs());
+        let pts = mrc.points();
+        assert_eq!(pts.len(), 5);
+        // 6000 lines fit the 32-SM LLC (8704 lines) but not the 16-SM one.
+        assert!(
+            pts[1].mpki > 2.0 * pts[2].mpki.max(0.01),
+            "expected a cliff between {} and {}",
+            pts[1].mpki,
+            pts[2].mpki
+        );
+    }
+
+    #[test]
+    fn flat_curve_for_oversized_footprint() {
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 400_000)
+            .compute_per_mem(1.0);
+        let kernel = Kernel::new("k", 768, 256, spec);
+        let wl = Workload::new("flat", 3, vec![kernel; 2]);
+        let mrc = collect_mrc(&wl, &configs());
+        let pts = mrc.points();
+        let ratio = pts[0].mpki / pts[4].mpki.max(1e-9);
+        assert!(
+            ratio < 1.5,
+            "footprint >> LLC should give a flat curve, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn mpki_is_monotonically_non_increasing() {
+        let spec = PatternSpec::new(
+            PatternKind::WorkingSetMix {
+                levels: vec![(0.5, 0.05), (0.3, 0.3), (0.2, 1.0)],
+            },
+            30_000,
+        )
+        .mem_ops_per_warp(40);
+        let wl = Workload::new("mix", 4, vec![Kernel::new("k", 384, 256, spec)]);
+        let mrc = collect_mrc(&wl, &configs());
+        for w in mrc.points().windows(2) {
+            assert!(
+                w[1].mpki <= w[0].mpki * 1.05,
+                "MPKI should not grow with capacity: {:?}",
+                mrc.points()
+            );
+        }
+    }
+
+    #[test]
+    fn replay_counts_instructions() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 1_000).compute_per_mem(2.0);
+        let wl = Workload::new("cnt", 5, vec![Kernel::new("k", 48, 256, spec)]);
+        let cfg = GpuConfig::paper_target(8, MemScale::default());
+        let mut r = FunctionalReplay::new(&cfg, &[(cfg.llc_bytes_total, cfg.llc_slices)]);
+        r.run(&wl, |t| cfg.ctas_per_sm(t));
+        assert_eq!(r.thread_instrs(), wl.approx_thread_instrs());
+        assert!(r.llc_accesses() > 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The workload interface the timing simulator consumes.
+//!
+//! Both synthetic workloads ([`Workload`]) and recorded trace files
+//! ([`TracedWorkload`](crate::tracefile::TracedWorkload)) implement
+//! [`WorkloadModel`], so the simulator runs either — the same split as
+//! Accel-Sim's execution-driven vs trace-driven front-ends.
+
+use crate::kernel::Workload;
+use crate::pattern::{SpecStream, WarpStream};
+
+/// A source of GPU work: an ordered sequence of kernels, each a grid of
+/// CTAs whose warps yield deterministic instruction streams.
+pub trait WorkloadModel {
+    /// The per-warp stream type.
+    type Stream: WarpStream;
+
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Number of kernels, executed in order with a barrier in between.
+    fn n_kernels(&self) -> usize;
+
+    /// `(n_ctas, threads_per_cta)` of kernel `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is out of range.
+    fn grid(&self, kernel: usize) -> (u32, u32);
+
+    /// Creates the instruction stream of one warp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    fn warp_stream(&self, kernel: usize, cta: u32, warp: u32) -> Self::Stream;
+
+    /// Expected total warp instructions (used for the sustained-IPC
+    /// measurement window).
+    fn approx_warp_instrs(&self) -> u64;
+
+    /// Warps per CTA of kernel `kernel` (threads rounded up to warps).
+    fn warps_per_cta(&self, kernel: usize) -> u32 {
+        self.grid(kernel).1.div_ceil(32)
+    }
+}
+
+impl WorkloadModel for Workload {
+    type Stream = SpecStream;
+
+    fn name(&self) -> &str {
+        Workload::name(self)
+    }
+
+    fn n_kernels(&self) -> usize {
+        self.kernels().len()
+    }
+
+    fn grid(&self, kernel: usize) -> (u32, u32) {
+        let k = &self.kernels()[kernel];
+        (k.n_ctas(), k.threads_per_cta())
+    }
+
+    fn warp_stream(&self, kernel: usize, cta: u32, warp: u32) -> SpecStream {
+        self.kernels()[kernel].warp_stream(self, kernel, cta, warp)
+    }
+
+    fn approx_warp_instrs(&self) -> u64 {
+        Workload::approx_warp_instrs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use crate::pattern::{PatternKind, PatternSpec};
+
+    #[test]
+    fn workload_implements_the_model() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 256).compute_per_mem(1.0);
+        let wl = Workload::new("m", 1, vec![Kernel::new("k", 4, 100, spec)]);
+        assert_eq!(WorkloadModel::name(&wl), "m");
+        assert_eq!(wl.n_kernels(), 1);
+        assert_eq!(wl.grid(0), (4, 100));
+        assert_eq!(WorkloadModel::warps_per_cta(&wl, 0), 4);
+        let mut s = WorkloadModel::warp_stream(&wl, 0, 0, 0);
+        assert!(s.next_op().is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! The warp-level instruction alphabet.
+
+/// Which path through the memory hierarchy an access takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Normal cached global access: L1 → NoC → LLC → DRAM.
+    Global,
+    /// L1-bypassing access (atomics / frontier updates): NoC → LLC → DRAM.
+    /// These are what create slice camping on hot shared data.
+    BypassL1,
+}
+
+/// One warp-level memory access.
+///
+/// `line_addr` is the address of the first 128 B line touched; a divergent
+/// access (`txns > 1`) touches `txns` lines spaced `txn_stride_lines`
+/// apart, modelling intra-warp memory divergence (each extra transaction is
+/// another NoC/LLC/DRAM request for the same warp instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// First cache-line address touched.
+    pub line_addr: u64,
+    /// Number of 128 B transactions this warp instruction generates (1 for
+    /// a fully coalesced access, up to 32 for fully divergent).
+    pub txns: u8,
+    /// Line distance between consecutive transactions.
+    pub txn_stride_lines: u32,
+    /// Memory space / bypass behaviour.
+    pub space: MemSpace,
+}
+
+impl MemAccess {
+    /// A fully coalesced one-line access.
+    pub fn coalesced(line_addr: u64) -> Self {
+        Self {
+            line_addr,
+            txns: 1,
+            txn_stride_lines: 0,
+            space: MemSpace::Global,
+        }
+    }
+
+    /// Iterates over the line addresses of all transactions.
+    pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..u64::from(self.txns))
+            .map(move |i| self.line_addr + i * u64::from(self.txn_stride_lines))
+    }
+}
+
+/// A warp-level operation, as issued by an SM scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` back-to-back arithmetic instructions; each issues in one cycle
+    /// and never stalls the warp (pipelined ALUs, dependence latency hidden
+    /// by the issue round-robin).
+    Compute {
+        /// Number of batched arithmetic instructions (≥ 1).
+        n: u16,
+    },
+    /// A load: the warp blocks until all transactions return.
+    Load(MemAccess),
+    /// A store: fire-and-forget (GPU L1s are write-through, no-write-
+    /// allocate), consumes NoC/LLC/DRAM bandwidth but does not block.
+    Store(MemAccess),
+    /// An atomic read-modify-write on shared data: blocks like a load and
+    /// bypasses the L1, serialising at the owning LLC slice.
+    Atomic(MemAccess),
+}
+
+impl Op {
+    /// Number of warp instructions this op represents.
+    pub fn warp_instrs(&self) -> u64 {
+        match self {
+            Op::Compute { n } => u64::from(*n),
+            _ => 1,
+        }
+    }
+
+    /// The memory access, if this op touches memory.
+    pub fn mem(&self) -> Option<&MemAccess> {
+        match self {
+            Op::Compute { .. } => None,
+            Op::Load(m) | Op::Store(m) | Op::Atomic(m) => Some(m),
+        }
+    }
+
+    /// Whether the issuing warp must wait for the result.
+    pub fn blocks_warp(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::Atomic(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_access_is_one_txn() {
+        let m = MemAccess::coalesced(10);
+        assert_eq!(m.lines().collect::<Vec<_>>(), vec![10]);
+    }
+
+    #[test]
+    fn divergent_access_spreads_lines() {
+        let m = MemAccess {
+            line_addr: 100,
+            txns: 4,
+            txn_stride_lines: 33,
+            space: MemSpace::Global,
+        };
+        assert_eq!(m.lines().collect::<Vec<_>>(), vec![100, 133, 166, 199]);
+    }
+
+    #[test]
+    fn op_accounting() {
+        assert_eq!(Op::Compute { n: 7 }.warp_instrs(), 7);
+        let load = Op::Load(MemAccess::coalesced(1));
+        assert_eq!(load.warp_instrs(), 1);
+        assert!(load.blocks_warp());
+        assert!(!Op::Store(MemAccess::coalesced(1)).blocks_warp());
+        assert!(Op::Atomic(MemAccess::coalesced(1)).blocks_warp());
+        assert!(Op::Compute { n: 1 }.mem().is_none());
+    }
+}

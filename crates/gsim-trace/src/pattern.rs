@@ -1,0 +1,594 @@
+//! Access-pattern families and the deterministic warp-stream generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::op::{MemAccess, MemSpace, Op};
+
+/// Line-address offset of the shared "hot" region (atomically updated
+/// frontier counters, tree roots, …), kept disjoint from workload data.
+pub const HOT_REGION_BASE: u64 = 1 << 40;
+
+/// A stream of warp-level operations.
+///
+/// Streams are created per (kernel, CTA, warp) and are deterministic: the
+/// same workload seed always yields the same trace, which keeps simulator
+/// runs reproducible and lets the functional miss-rate-curve collector see
+/// exactly the traffic the timing simulator sees.
+pub trait WarpStream {
+    /// Produces the next operation, or `None` when the warp has retired.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// How a warp walks memory. See the crate docs for which benchmark families
+/// map to which kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternKind {
+    /// The grid collectively sweeps the whole footprint once per pass, each
+    /// warp walking an interleaved stride-`total_warps` slice. Reuse exists
+    /// only *across* passes, with an LLC-level reuse distance of about the
+    /// footprint — a flat miss-rate curve below the footprint and a sharp
+    /// cliff once the LLC holds it (dct, fwt, pf, at, …).
+    GlobalSweep {
+        /// Number of passes over the footprint.
+        passes: u32,
+    },
+    /// Single cold pass over the footprint: (almost) zero data reuse, as
+    /// the paper describes for ht.
+    Streaming,
+    /// Random accesses over a mixture of nested working-set levels, giving
+    /// a gradually declining miss-rate curve (bfs, sr, gr).
+    WorkingSetMix {
+        /// `(weight, fraction_of_footprint)` levels; weights are
+        /// normalised internally. Fractions above 1.0 model streaming
+        /// regions larger than the nominal footprint that never fit any
+        /// cache of interest.
+        levels: Vec<(f64, f64)>,
+    },
+    /// Warp-private tiles re-swept `reuses` times before moving on —
+    /// blocked/tiling kernels whose reuse is captured close to the SM
+    /// (gemm, 2mm).
+    Tiled {
+        /// Lines per tile.
+        tile_lines: u64,
+        /// Times each tile is re-walked.
+        reuses: u32,
+    },
+    /// Uniformly random (pointer-chasing) accesses over the footprint
+    /// (btree traversals).
+    PointerChase,
+}
+
+/// Shared hot-data behaviour layered on a base pattern: with probability
+/// `prob` a memory op becomes an L1-bypassing atomic on one of `hot_lines`
+/// lines shared by *all* CTAs. Because a line lives in exactly one LLC
+/// slice, a small hot set makes ever more SMs camp on the same few slices
+/// as the system scales — the paper's second sub-linear mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedHotSpec {
+    /// Probability that a memory op targets the hot region.
+    pub prob: f64,
+    /// Number of distinct hot lines.
+    pub hot_lines: u64,
+}
+
+/// Full description of a kernel's memory behaviour.
+///
+/// Built with a fluent builder:
+///
+/// ```
+/// use gsim_trace::{PatternKind, PatternSpec};
+///
+/// let spec = PatternSpec::new(PatternKind::PointerChase, 1 << 20)
+///     .mem_ops_per_warp(128)
+///     .compute_per_mem(1.5)
+///     .divergence(4);
+/// assert_eq!(spec.footprint_lines(), 1 << 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSpec {
+    kind: PatternKind,
+    footprint_lines: u64,
+    mem_ops_per_warp: u32,
+    compute_per_mem: f64,
+    write_frac: f64,
+    divergence: u8,
+    shared_hot: Option<SharedHotSpec>,
+    tail_compute: u32,
+}
+
+impl PatternSpec {
+    /// Creates a spec for `kind` over a footprint of `footprint_lines`
+    /// 128 B lines, with defaults: 64 memory ops per warp (where the kind
+    /// does not derive its own count), 2 compute instructions per memory
+    /// op, no stores, fully coalesced, no shared hot set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_lines` is zero.
+    pub fn new(kind: PatternKind, footprint_lines: u64) -> Self {
+        assert!(footprint_lines > 0, "footprint must be non-empty");
+        Self {
+            kind,
+            footprint_lines,
+            mem_ops_per_warp: 64,
+            compute_per_mem: 2.0,
+            write_frac: 0.0,
+            divergence: 1,
+            shared_hot: None,
+            tail_compute: 0,
+        }
+    }
+
+    /// Sets the number of memory ops per warp (ignored by
+    /// [`PatternKind::GlobalSweep`] and [`PatternKind::Streaming`], which
+    /// derive it from footprint coverage).
+    pub fn mem_ops_per_warp(mut self, n: u32) -> Self {
+        self.mem_ops_per_warp = n;
+        self
+    }
+
+    /// Sets the arithmetic intensity: compute instructions interleaved per
+    /// memory op (fractional values are realised exactly on average via an
+    /// accumulator).
+    pub fn compute_per_mem(mut self, r: f64) -> Self {
+        assert!(r >= 0.0, "compute/mem ratio must be non-negative");
+        self.compute_per_mem = r;
+        self
+    }
+
+    /// Sets the fraction of memory ops that are stores.
+    pub fn write_frac(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "write fraction must be in [0,1]");
+        self.write_frac = f;
+        self
+    }
+
+    /// Sets the number of 128 B transactions per memory op (memory
+    /// divergence), clamped to `1..=32`.
+    pub fn divergence(mut self, txns: u8) -> Self {
+        self.divergence = txns.clamp(1, 32);
+        self
+    }
+
+    /// Layers a shared hot set (see [`SharedHotSpec`]) on the base pattern.
+    pub fn shared_hot(mut self, prob: f64, hot_lines: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0,1]");
+        assert!(hot_lines > 0, "hot set must be non-empty");
+        self.shared_hot = Some(SharedHotSpec { prob, hot_lines });
+        self
+    }
+
+    /// Adds a compute-only epilogue of `n` instructions per warp (used for
+    /// workloads whose instruction volume dwarfs their memory traffic).
+    pub fn tail_compute(mut self, n: u32) -> Self {
+        self.tail_compute = n;
+        self
+    }
+
+    /// The pattern kind.
+    pub fn kind(&self) -> &PatternKind {
+        &self.kind
+    }
+
+    /// Footprint in 128 B lines.
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_lines
+    }
+
+    /// Compute instructions per memory op.
+    pub fn compute_ratio(&self) -> f64 {
+        self.compute_per_mem
+    }
+
+    /// The shared hot set, if configured.
+    pub fn hot(&self) -> Option<SharedHotSpec> {
+        self.shared_hot
+    }
+
+    /// Memory ops a warp with context `ctx` will execute.
+    pub fn mem_ops_for(&self, ctx: &StreamCtx) -> u64 {
+        let lines_per_warp = self
+            .footprint_lines
+            .div_ceil(ctx.total_warps.max(1))
+            .max(1);
+        match &self.kind {
+            PatternKind::GlobalSweep { passes } => lines_per_warp * u64::from(*passes),
+            PatternKind::Streaming => lines_per_warp,
+            _ => u64::from(self.mem_ops_per_warp),
+        }
+    }
+
+    /// Approximate warp instructions a warp with context `ctx` executes
+    /// (memory ops + interleaved compute + epilogue).
+    pub fn warp_instrs_for(&self, ctx: &StreamCtx) -> u64 {
+        let m = self.mem_ops_for(ctx);
+        m + (m as f64 * self.compute_per_mem) as u64 + u64::from(self.tail_compute)
+    }
+}
+
+/// Placement of a warp within its kernel's grid, used to partition work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCtx {
+    /// Index of this warp across the whole grid (CTA-major).
+    pub global_warp: u64,
+    /// Total warps in the grid.
+    pub total_warps: u64,
+    /// Per-stream RNG seed (derived from workload seed, kernel, CTA, warp).
+    pub seed: u64,
+}
+
+enum Phase {
+    ComputeBeforeMem,
+    Mem,
+    Tail,
+    Done,
+}
+
+/// The deterministic generator realising a [`PatternSpec`] for one warp.
+pub struct SpecStream {
+    spec: PatternSpec,
+    ctx: StreamCtx,
+    rng: SmallRng,
+    mem_ops_total: u64,
+    mem_op_idx: u64,
+    lines_per_warp: u64,
+    compute_acc: f64,
+    phase: Phase,
+    tail_left: u32,
+    /// Normalised cumulative level weights for `WorkingSetMix`.
+    mix_cdf: Vec<(f64, u64)>,
+}
+
+impl std::fmt::Debug for SpecStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecStream")
+            .field("spec", &self.spec)
+            .field("ctx", &self.ctx)
+            .field("mem_op_idx", &self.mem_op_idx)
+            .field("mem_ops_total", &self.mem_ops_total)
+            .finish()
+    }
+}
+
+impl SpecStream {
+    /// Creates the stream for one warp.
+    pub fn new(spec: PatternSpec, ctx: StreamCtx) -> Self {
+        let mem_ops_total = spec.mem_ops_for(&ctx);
+        let lines_per_warp = spec
+            .footprint_lines
+            .div_ceil(ctx.total_warps.max(1))
+            .max(1);
+        let mix_cdf = if let PatternKind::WorkingSetMix { levels } = &spec.kind {
+            let total: f64 = levels.iter().map(|(w, _)| w).sum();
+            let mut acc = 0.0;
+            levels
+                .iter()
+                .map(|&(w, frac)| {
+                    acc += w / total;
+                    let lines = ((spec.footprint_lines as f64 * frac) as u64).max(1);
+                    (acc, lines)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let tail_left = spec.tail_compute;
+        Self {
+            rng: SmallRng::seed_from_u64(ctx.seed),
+            spec,
+            ctx,
+            mem_ops_total,
+            mem_op_idx: 0,
+            lines_per_warp,
+            compute_acc: 0.0,
+            phase: Phase::ComputeBeforeMem,
+            tail_left,
+            mix_cdf,
+        }
+    }
+
+    fn base_line(&mut self) -> u64 {
+        let i = self.mem_op_idx;
+        let g = self.ctx.global_warp;
+        let total = self.ctx.total_warps.max(1);
+        let fp = self.spec.footprint_lines;
+        match &self.spec.kind {
+            PatternKind::GlobalSweep { .. } => {
+                let k = i % self.lines_per_warp;
+                (g + k * total) % fp
+            }
+            PatternKind::Streaming => g + i * total,
+            PatternKind::WorkingSetMix { .. } => {
+                let u: f64 = self.rng.gen();
+                let lines = self
+                    .mix_cdf
+                    .iter()
+                    .find(|&&(cdf, _)| u <= cdf)
+                    .map(|&(_, l)| l)
+                    .unwrap_or(fp);
+                self.rng.gen_range(0..lines)
+            }
+            PatternKind::Tiled { tile_lines, reuses } => {
+                let tile_span = tile_lines * u64::from(*reuses).max(1);
+                let tile = i / tile_span;
+                let within = (i % tile_span) % tile_lines;
+                let region_start = (g * self.lines_per_warp) % fp;
+                (region_start + (tile * tile_lines + within) % self.lines_per_warp) % fp
+            }
+            PatternKind::PointerChase => self.rng.gen_range(0..fp),
+        }
+    }
+
+    fn mem_op(&mut self) -> Op {
+        if let Some(hot) = self.spec.shared_hot {
+            if self.rng.gen_bool(hot.prob) {
+                // Log-uniform rank selection: the hottest line draws
+                // ~ln2/ln(H) of the atomic traffic, the next octave half
+                // of that, and so on — so the owning LLC slices saturate
+                // one octave at a time as the system scales, giving the
+                // smooth sub-linear camping decay of real shared data
+                // (tree roots, frontier counters) instead of a sharp
+                // saturation threshold.
+                let u: f64 = self.rng.gen();
+                let rank = (hot.hot_lines as f64).powf(u) as u64;
+                let line = HOT_REGION_BASE + (rank - 1).min(hot.hot_lines - 1);
+                return Op::Atomic(MemAccess {
+                    line_addr: line,
+                    txns: 1,
+                    txn_stride_lines: 0,
+                    space: MemSpace::BypassL1,
+                });
+            }
+        }
+        let line = self.base_line();
+        let txns = if self.spec.divergence > 1 {
+            // Divergence varies per op between half and full configured width.
+            self.rng
+                .gen_range((self.spec.divergence / 2).max(1)..=self.spec.divergence)
+        } else {
+            1
+        };
+        let stride = if txns > 1 {
+            self.rng.gen_range(1..=97)
+        } else {
+            0
+        };
+        let access = MemAccess {
+            line_addr: line,
+            txns,
+            txn_stride_lines: stride,
+            space: MemSpace::Global,
+        };
+        if self.spec.write_frac > 0.0 && self.rng.gen_bool(self.spec.write_frac) {
+            Op::Store(access)
+        } else {
+            Op::Load(access)
+        }
+    }
+}
+
+impl WarpStream for SpecStream {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            match self.phase {
+                Phase::ComputeBeforeMem => {
+                    if self.mem_op_idx >= self.mem_ops_total {
+                        self.phase = Phase::Tail;
+                        continue;
+                    }
+                    self.phase = Phase::Mem;
+                    self.compute_acc += self.spec.compute_per_mem;
+                    let n = self.compute_acc as u16;
+                    if n > 0 {
+                        self.compute_acc -= f64::from(n);
+                        return Some(Op::Compute { n });
+                    }
+                }
+                Phase::Mem => {
+                    let op = self.mem_op();
+                    self.mem_op_idx += 1;
+                    self.phase = Phase::ComputeBeforeMem;
+                    return Some(op);
+                }
+                Phase::Tail => {
+                    if self.tail_left == 0 {
+                        self.phase = Phase::Done;
+                        return None;
+                    }
+                    let n = self.tail_left.min(u32::from(u16::MAX)) as u16;
+                    self.tail_left -= u32::from(n);
+                    return Some(Op::Compute { n });
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(g: u64, total: u64) -> StreamCtx {
+        StreamCtx {
+            global_warp: g,
+            total_warps: total,
+            seed: 12345 + g,
+        }
+    }
+
+    fn drain(spec: &PatternSpec, c: StreamCtx) -> Vec<Op> {
+        let mut s = SpecStream::new(spec.clone(), c);
+        std::iter::from_fn(move || s.next_op()).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 4096).mem_ops_per_warp(50);
+        let a = drain(&spec, ctx(3, 16));
+        let b = drain(&spec, ctx(3, 16));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn global_sweep_covers_footprint_exactly() {
+        // 4 warps over 16 lines, 1 pass: union of accesses = all lines.
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 16).compute_per_mem(0.0);
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..4 {
+            for op in drain(&spec, ctx(g, 4)) {
+                if let Some(m) = op.mem() {
+                    seen.extend(m.lines());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert_eq!(*seen.iter().max().unwrap(), 15);
+    }
+
+    #[test]
+    fn global_sweep_passes_multiply_ops() {
+        let c = ctx(0, 4);
+        let one = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 16);
+        let four = PatternSpec::new(PatternKind::GlobalSweep { passes: 4 }, 16);
+        assert_eq!(one.mem_ops_for(&c), 4);
+        assert_eq!(four.mem_ops_for(&c), 16);
+    }
+
+    #[test]
+    fn streaming_never_revisits_lines() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 64).compute_per_mem(0.0);
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..4 {
+            for op in drain(&spec, ctx(g, 4)) {
+                if let Some(m) = op.mem() {
+                    assert!(seen.insert(m.line_addr), "line revisited");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn compute_ratio_is_realised_on_average() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 1024)
+            .mem_ops_per_warp(1000)
+            .compute_per_mem(1.5);
+        let ops = drain(&spec, ctx(0, 1));
+        let compute: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute { n } => Some(u64::from(*n)),
+                _ => None,
+            })
+            .sum();
+        let mem = ops.iter().filter(|o| o.mem().is_some()).count() as u64;
+        assert_eq!(mem, 1000);
+        assert_eq!(compute, 1500, "accumulator realises 1.5 exactly per 1000");
+    }
+
+    #[test]
+    fn working_set_mix_respects_levels() {
+        let spec = PatternSpec::new(
+            PatternKind::WorkingSetMix {
+                levels: vec![(0.7, 0.01), (0.3, 1.0)],
+            },
+            10_000,
+        )
+        .mem_ops_per_warp(2000)
+        .compute_per_mem(0.0);
+        let ops = drain(&spec, ctx(0, 1));
+        let small = ops
+            .iter()
+            .filter_map(Op::mem)
+            .filter(|m| m.line_addr < 100)
+            .count();
+        let frac = small as f64 / 2000.0;
+        assert!(
+            (0.6..0.85).contains(&frac),
+            "~70% of accesses in the hot level, got {frac}"
+        );
+    }
+
+    #[test]
+    fn tiled_pattern_reuses_within_tile() {
+        let spec = PatternSpec::new(
+            PatternKind::Tiled {
+                tile_lines: 4,
+                reuses: 3,
+            },
+            1 << 20,
+        )
+        .mem_ops_per_warp(24)
+        .compute_per_mem(0.0);
+        let ops = drain(&spec, ctx(0, 1));
+        let lines: Vec<u64> = ops.iter().filter_map(|o| o.mem().map(|m| m.line_addr)).collect();
+        // First 12 ops walk tile 0 three times.
+        assert_eq!(&lines[0..4], &lines[4..8]);
+        assert_eq!(&lines[0..4], &lines[8..12]);
+        // Next 12 walk a different tile.
+        assert_ne!(&lines[0..4], &lines[12..16]);
+    }
+
+    #[test]
+    fn shared_hot_emits_atomics_in_hot_region() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 1024)
+            .mem_ops_per_warp(500)
+            .shared_hot(0.3, 8);
+        let ops = drain(&spec, ctx(0, 1));
+        let atomics: Vec<&MemAccess> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Atomic(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        let frac = atomics.len() as f64 / 500.0;
+        assert!((0.2..0.4).contains(&frac), "atomic fraction {frac}");
+        for m in atomics {
+            assert!(m.line_addr >= HOT_REGION_BASE);
+            assert!(m.line_addr < HOT_REGION_BASE + 8);
+            assert_eq!(m.space, MemSpace::BypassL1);
+        }
+    }
+
+    #[test]
+    fn write_frac_produces_stores() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 1024)
+            .mem_ops_per_warp(500)
+            .write_frac(0.25);
+        let ops = drain(&spec, ctx(0, 1));
+        let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count();
+        let frac = stores as f64 / 500.0;
+        assert!((0.15..0.35).contains(&frac), "store fraction {frac}");
+    }
+
+    #[test]
+    fn divergence_widens_accesses() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 1024)
+            .mem_ops_per_warp(100)
+            .divergence(8);
+        let ops = drain(&spec, ctx(0, 1));
+        let avg_txns: f64 = ops
+            .iter()
+            .filter_map(Op::mem)
+            .map(|m| f64::from(m.txns))
+            .sum::<f64>()
+            / 100.0;
+        assert!(avg_txns > 4.0, "average transactions {avg_txns}");
+    }
+
+    #[test]
+    fn tail_compute_appends_epilogue() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 4)
+            .compute_per_mem(0.0)
+            .tail_compute(100_000);
+        let ops = drain(&spec, ctx(0, 4));
+        let total: u64 = ops.iter().map(Op::warp_instrs).sum();
+        assert_eq!(total, 1 + 100_000);
+        assert!(matches!(ops.last(), Some(Op::Compute { .. })));
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-chiplet GPUs: predict 16-chiplet performance from 4- and
+//! 8-chiplet scale models (the paper's Section VII.D case study).
+//!
+//! ```sh
+//! cargo run --release --example chiplet_scaling [benchmark]
+//! ```
+
+use gpu_scale_model::core::experiment::McmExperiment;
+use gpu_scale_model::sim::ChipletConfig;
+use gpu_scale_model::trace::weak::weak_benchmark;
+use gpu_scale_model::trace::MemScale;
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "va".to_string());
+    let scale = MemScale::default();
+    let bench = weak_benchmark(&abbr, scale)
+        .unwrap_or_else(|| panic!("unknown weak benchmark {abbr}"));
+
+    let mcm16 = ChipletConfig::paper_mcm(16, scale);
+    println!(
+        "target: {} chiplets x {} SMs = {} SMs at {:.1} GHz, {} MB LLC/chiplet,\n\
+         {:.0} GB/s inter-chiplet per chiplet, first-touch pages",
+        mcm16.n_chiplets,
+        mcm16.chiplet.n_sms,
+        mcm16.total_sms(),
+        mcm16.chiplet.sm_clock_ghz,
+        scale.to_paper_bytes(mcm16.chiplet.llc_bytes_total) / (1024 * 1024),
+        mcm16.interchiplet_gbs_per_chiplet,
+    );
+
+    let out = McmExperiment::new(scale)
+        .run_benchmark(&bench)
+        .expect("pipeline runs")
+        .unwrap_or_else(|| panic!("{abbr} is excluded from the MCM study"));
+
+    println!("\nmeasured:");
+    for m in &out.outcome.measured {
+        println!(
+            "  {:>2} chiplets ({:>4} SMs): IPC {:8.1}  f_mem {:.2}  [{:.2} s sim]",
+            m.size,
+            m.size * 64,
+            m.ipc,
+            m.f_mem,
+            m.sim_seconds
+        );
+    }
+
+    println!("\n16-chiplet predictions from the 4/8-chiplet scale models:");
+    for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
+        if let Some(p) = out.outcome.method(method).and_then(|mo| mo.at(16)) {
+            println!(
+                "  {method:>12}: {:8.1}  (error {:.1}%)",
+                p.predicted, p.error_pct
+            );
+        }
+    }
+    if let Some((_, s)) = out.speedups.first() {
+        println!("\nsimulation-time speedup vs both scale models: {s:.2}x");
+    }
+}

@@ -1,0 +1,96 @@
+//! Miss-rate-curve exploration: compare the MRC engines (exact tree-based
+//! stack distances, SHARDS sampling, per-capacity cache replay) on a
+//! workload's address stream and show cliff detection at work.
+//!
+//! ```sh
+//! cargo run --release --example mrc_explorer [benchmark]
+//! ```
+
+use std::time::Instant;
+
+use gpu_scale_model::core::{detect_cliff, SizedMrc};
+use gpu_scale_model::mem::mrc::{DistanceEngine, MissRateCurve, ShardsStack, TreeStack};
+use gpu_scale_model::sim::{collect_mrc, GpuConfig};
+use gpu_scale_model::trace::suite::strong_benchmark;
+use gpu_scale_model::trace::{MemScale, WarpStream};
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "dct".to_string());
+    let scale = MemScale::default();
+    let bench = strong_benchmark(&abbr, scale)
+        .unwrap_or_else(|| panic!("unknown benchmark {abbr}"));
+    let sizes = [8u32, 16, 32, 64, 128];
+    let configs: Vec<GpuConfig> = sizes
+        .iter()
+        .map(|&s| GpuConfig::paper_target(s, scale))
+        .collect();
+
+    // Gather the raw (pre-L1) line-address stream of the first kernels.
+    let wl = &bench.workload;
+    let mut lines: Vec<u64> = Vec::new();
+    for (kidx, kernel) in wl.kernels().iter().enumerate() {
+        for cta in 0..kernel.n_ctas().min(512) {
+            for warp in 0..kernel.warps_per_cta() {
+                let mut s = kernel.warp_stream(wl, kidx, cta, warp);
+                while let Some(op) = s.next_op() {
+                    if let Some(m) = op.mem() {
+                        lines.extend(m.lines());
+                    }
+                }
+            }
+        }
+    }
+    println!("{abbr}: analysing {} line accesses", lines.len());
+
+    // Exact single-pass stack distances (fully-associative model).
+    let t0 = Instant::now();
+    let mut exact = TreeStack::with_capacity(lines.len());
+    exact.record_all(lines.iter().copied());
+    let hist = exact.finish();
+    let exact_time = t0.elapsed();
+
+    // SHARDS sampling at 10%.
+    let t0 = Instant::now();
+    let mut shards = ShardsStack::new(0.1);
+    shards.record_all(lines.iter().copied());
+    let sampled = shards.finish();
+    let shards_time = t0.elapsed();
+
+    let caps: Vec<u64> = configs.iter().map(|c| c.llc_bytes_total).collect();
+    let exact_mrc = MissRateCurve::from_histogram(&hist, &caps, lines.len() as u64 * 32, 128);
+    let shards_mrc = MissRateCurve::from_histogram(&sampled, &caps, lines.len() as u64 * 32, 128);
+
+    // Full functional replay through set-associative sliced LLCs + L1s.
+    let t0 = Instant::now();
+    let replay_mrc = collect_mrc(wl, &configs);
+    let replay_time = t0.elapsed();
+
+    println!("\n{:>12} {:>12} {:>12} {:>12}", "LLC (paper)", "tree-exact", "SHARDS 10%", "replay+L1");
+    for (i, cfg) in configs.iter().enumerate() {
+        println!(
+            "{:>9} MB {:>12.2} {:>12.2} {:>12.2}",
+            cfg.llc_paper_bytes() / (1024 * 1024),
+            exact_mrc.points()[i].mpki,
+            shards_mrc.points()[i].mpki,
+            replay_mrc.points()[i].mpki,
+        );
+    }
+    println!(
+        "\nanalysis time: exact {exact_time:?}, SHARDS {shards_time:?}, replay {replay_time:?}"
+    );
+
+    let sized = SizedMrc::new(
+        sizes
+            .iter()
+            .zip(replay_mrc.points())
+            .map(|(&s, p)| (s, p.mpki)),
+    );
+    match detect_cliff(&sized) {
+        Some(i) => println!(
+            "cliff detected between {} and {} SMs — Eq. (3) applies there",
+            sized.points()[i].0,
+            sized.points()[i + 1].0
+        ),
+        None => println!("no cliff: the whole range is pre-cliff (Eq. 2)"),
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: predict 128-SM GPU performance from 8- and 16-SM scale
+//! models, without ever simulating the 128-SM target.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+//!
+//! This walks the paper's Figure 3 workflow by hand:
+//! 1. simulate the workload on the two scale models (detailed timing);
+//! 2. collect its miss-rate curve (fast functional simulation);
+//! 3. feed both into the scale-model predictor;
+//! 4. (for demonstration only) simulate the target to report the error.
+
+use gpu_scale_model::core::{ScaleModelInputs, ScaleModelPredictor, ScalingPredictor};
+use gpu_scale_model::mem::mrc::MissRateCurve;
+use gpu_scale_model::sim::{collect_mrc, GpuConfig, Simulator};
+use gpu_scale_model::trace::suite::strong_benchmark;
+use gpu_scale_model::trace::MemScale;
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "dct".to_string());
+    let scale = MemScale::default();
+    let bench = strong_benchmark(&abbr, scale)
+        .unwrap_or_else(|| panic!("unknown benchmark {abbr}; try dct, bfs, pf, ..."));
+    println!(
+        "workload: {} ({}, {} MB footprint, expected {})",
+        bench.full_name,
+        bench.origin,
+        bench.workload.footprint_mb_paper(),
+        bench.expected
+    );
+
+    // 1. Scale-model performance profiles (Section V.B).
+    let sizes = [8u32, 16, 32, 64, 128];
+    let configs: Vec<GpuConfig> = sizes
+        .iter()
+        .map(|&s| GpuConfig::paper_target(s, scale))
+        .collect();
+    let sm8 = Simulator::new(configs[0].clone(), &bench.workload).run();
+    let sm16 = Simulator::new(configs[1].clone(), &bench.workload).run();
+    println!(
+        "scale models:  8-SM IPC {:8.1}   16-SM IPC {:8.1}   f_mem(16) {:.2}",
+        sm8.sustained_ipc(),
+        sm16.sustained_ipc(),
+        sm16.f_mem()
+    );
+
+    // 2. Miss-rate curve from functional simulation (Section V.A).
+    let curve: MissRateCurve = collect_mrc(&bench.workload, &configs);
+    println!("miss-rate curve (model units): {curve}");
+
+    // 3. The scale-model prediction (Section V.C).
+    let inputs = ScaleModelInputs::new(8, sm8.sustained_ipc(), 16, sm16.sustained_ipc())
+        .with_mrc(
+            sizes
+                .iter()
+                .zip(curve.points())
+                .map(|(&s, p)| (s, p.mpki)),
+        )
+        .with_f_mem(sm16.f_mem());
+    let predictor = ScaleModelPredictor::new(inputs).expect("valid inputs");
+    println!(
+        "correction factor C = {:.3}; cliff detected at: {:?} SMs",
+        predictor.correction_factor(),
+        predictor.cliff_at()
+    );
+    let predicted = predictor.predict(128.0);
+    println!("predicted 128-SM IPC: {predicted:8.1}");
+
+    // 4. Ground truth, for demonstration.
+    let real = Simulator::new(configs[4].clone(), &bench.workload)
+        .run()
+        .sustained_ipc();
+    println!(
+        "measured  128-SM IPC: {real:8.1}   (prediction error {:.1}%)",
+        gpu_scale_model::core::percent_error(predicted, real)
+    );
+}

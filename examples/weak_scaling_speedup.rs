@@ -1,0 +1,58 @@
+//! Weak scaling: predict target performance for inputs that grow with the
+//! system, and measure the simulation-time speedup of scale-model
+//! simulation (the paper's Figures 6 and 7 for one benchmark).
+//!
+//! ```sh
+//! cargo run --release --example weak_scaling_speedup [benchmark]
+//! ```
+
+use gpu_scale_model::core::experiment::WeakScalingExperiment;
+use gpu_scale_model::trace::weak::weak_benchmark;
+use gpu_scale_model::trace::MemScale;
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "va".to_string());
+    let scale = MemScale::default();
+    let bench = weak_benchmark(&abbr, scale)
+        .unwrap_or_else(|| panic!("unknown weak benchmark {abbr}; try bfs, bs, btree, as, bp, va"));
+
+    println!("weak-scaling benchmark {abbr} (expected {}):", bench.expected);
+    for (row, r) in bench.rows.iter().enumerate() {
+        println!(
+            "  input {}: {:>7} CTAs (paper), {:6.1} MB — for the {}-SM system",
+            row,
+            r.ctas_paper,
+            r.footprint_mb,
+            gpu_scale_model::trace::weak::WEAK_SM_SIZES[row]
+        );
+    }
+
+    let out = WeakScalingExperiment::new(scale)
+        .run_benchmark(&bench)
+        .expect("pipeline runs");
+
+    println!("\nmeasured (each size runs its own input):");
+    for m in &out.outcome.measured {
+        println!(
+            "  {:>3} SMs: IPC {:8.1}   simulated in {:6.2} s",
+            m.size, m.ipc, m.sim_seconds
+        );
+    }
+
+    println!("\npredictions from the 8/16-SM scale models (no miss-rate curve needed):");
+    for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
+        if let Some(mo) = out.outcome.method(method) {
+            let s: Vec<String> = mo
+                .by_target
+                .iter()
+                .map(|p| format!("{}SM {:.1} ({:.1}%)", p.target, p.predicted, p.error_pct))
+                .collect();
+            println!("  {method:>12}: {}", s.join("  "));
+        }
+    }
+
+    println!("\nsimulation-time speedup vs simulating both scale models:");
+    for (target, speedup) in &out.speedups {
+        println!("  {target:>3}-SM target: {speedup:.2}x");
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! methodology relies on.
+
+use gpu_scale_model::core::{
+    percent_error, LinearRegression, LogRegression, PowerLawRegression, Proportional,
+    ScaleModelInputs, ScaleModelPredictor, ScalingPredictor, SizedMrc,
+};
+use gpu_scale_model::mem::mrc::{DistanceEngine, NaiveStack, TreeStack};
+use gpu_scale_model::mem::{Cache, CacheGeometry};
+use gpu_scale_model::sim::{GpuConfig, Simulator};
+use gpu_scale_model::trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree-accelerated stack-distance engine is exactly equivalent
+    /// to the naive Mattson stack on arbitrary traces.
+    #[test]
+    fn tree_stack_equals_naive_stack(
+        trace in proptest::collection::vec(0u64..200, 1..400),
+        caps in proptest::collection::vec(0u64..300, 1..8),
+    ) {
+        let mut tree = TreeStack::with_capacity(16); // force compactions
+        let mut naive = NaiveStack::new();
+        tree.record_all(trace.iter().copied());
+        naive.record_all(trace.iter().copied());
+        let (ht, hn) = (tree.finish(), naive.finish());
+        for c in caps {
+            prop_assert_eq!(ht.misses_at(c), hn.misses_at(c));
+        }
+    }
+
+    /// Misses are monotonically non-increasing in cache capacity.
+    #[test]
+    fn stack_distance_misses_are_monotone(
+        trace in proptest::collection::vec(0u64..500, 1..500),
+    ) {
+        let mut e = TreeStack::new();
+        e.record_all(trace.iter().copied());
+        let h = e.finish();
+        let mut prev = f64::INFINITY;
+        for c in [0u64, 1, 2, 4, 8, 16, 64, 256, 1024] {
+            let m = h.misses_at(c);
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    /// An LRU cache at least as large as the number of distinct lines
+    /// takes only cold misses.
+    #[test]
+    fn cache_with_capacity_for_everything_only_misses_cold(
+        trace in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let distinct = trace.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        let mut cache = Cache::new(CacheGeometry::from_sets(1, 64, 128));
+        for &l in &trace {
+            cache.access(l, false);
+        }
+        prop_assert_eq!(cache.misses(), distinct);
+    }
+
+    /// Proportional prediction and power-law prediction coincide when the
+    /// scale models scale exactly ideally.
+    #[test]
+    fn power_law_reduces_to_proportional_on_ideal_scaling(
+        ipc in 1.0f64..10_000.0,
+        target in prop::sample::select(vec![32u32, 64, 128]),
+    ) {
+        let prop_m = Proportional::fit(8, ipc, 16, 2.0 * ipc).unwrap();
+        let power = PowerLawRegression::fit(8, ipc, 16, 2.0 * ipc).unwrap();
+        let t = f64::from(target);
+        prop_assert!((prop_m.predict(t) - power.predict(t)).abs() / prop_m.predict(t) < 1e-9);
+    }
+
+    /// With C = 1 and no cliff, the scale-model prediction equals
+    /// proportional scaling for any doubling target.
+    #[test]
+    fn scale_model_with_ideal_correction_is_proportional(
+        ipc in 1.0f64..10_000.0,
+        steps in 1u32..4,
+    ) {
+        let p = ScaleModelPredictor::new(ScaleModelInputs::new(8, ipc, 16, 2.0 * ipc))
+            .unwrap();
+        let target = 16u32 << steps;
+        let expected = 2.0 * ipc * f64::from(target) / 16.0;
+        prop_assert!((p.predict(f64::from(target)) - expected).abs() < 1e-6);
+    }
+
+    /// All two-point fits interpolate their own observations.
+    #[test]
+    fn fits_pass_through_observations(
+        ipc_s in 1.0f64..1_000.0,
+        ratio in 1.05f64..2.5,
+    ) {
+        let ipc_l = ipc_s * ratio;
+        let lin = LinearRegression::fit(8, ipc_s, 16, ipc_l).unwrap();
+        let pow = PowerLawRegression::fit(8, ipc_s, 16, ipc_l).unwrap();
+        prop_assert!((lin.predict(8.0) - ipc_s).abs() < 1e-6);
+        prop_assert!((lin.predict(16.0) - ipc_l).abs() < 1e-6);
+        prop_assert!((pow.predict(8.0) - ipc_s).abs() / ipc_s < 1e-9);
+        prop_assert!((pow.predict(16.0) - ipc_l).abs() / ipc_l < 1e-9);
+        // Log regression is a one-parameter least-squares fit: it need not
+        // interpolate, but it must stay between a half and the double of
+        // the observations at those points.
+        let log = LogRegression::fit(8, ipc_s, 16, ipc_l).unwrap();
+        prop_assert!(log.predict(8.0) > 0.25 * ipc_s && log.predict(8.0) < 2.0 * ipc_s);
+    }
+
+    /// Percent error is symmetric in magnitude around the measurement and
+    /// zero only for exact predictions.
+    #[test]
+    fn percent_error_properties(real in 0.001f64..1e6, delta in 0.0f64..2.0) {
+        prop_assert_eq!(percent_error(real, real), 0.0);
+        let e_hi = percent_error(real * (1.0 + delta), real);
+        prop_assert!((e_hi - delta * 100.0).abs() < 1e-6);
+    }
+
+    /// A cliff is detected iff some doubling drops MPKI by more than 2x
+    /// (above the noise floor).
+    #[test]
+    fn cliff_detection_matches_definition(
+        mpki in proptest::collection::vec(0.2f64..20.0, 5),
+    ) {
+        let sizes = [8u32, 16, 32, 64, 128];
+        let mrc = SizedMrc::new(sizes.iter().copied().zip(mpki.iter().copied()));
+        let manual = mpki.windows(2).any(|w| w[1] < w[0] / 2.0);
+        prop_assert_eq!(
+            gpu_scale_model::core::detect_cliff(&mrc).is_some(),
+            manual
+        );
+    }
+}
+
+proptest! {
+    // Timing simulations are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The simulator is deterministic: identical runs give identical
+    /// statistics (modulo wall-clock time).
+    #[test]
+    fn simulator_is_deterministic(seed in 0u64..1000, ctas in 24u32..96) {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 2_000)
+            .mem_ops_per_warp(16)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("prop", seed, vec![Kernel::new("k", ctas, 256, spec)]);
+        let cfg = GpuConfig::paper_target(8, MemScale::new(32));
+        let mut a = Simulator::new(cfg.clone(), &wl).run();
+        let mut b = Simulator::new(cfg, &wl).run();
+        a.sim_wall_seconds = 0.0;
+        b.sim_wall_seconds = 0.0;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every issued instruction is accounted: IPC x cycles equals the
+    /// instruction total, and stall + issue accounting covers all
+    /// SM-cycles.
+    #[test]
+    fn instruction_and_cycle_accounting_is_exact(seed in 0u64..1000) {
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 4_096)
+            .compute_per_mem(2.0);
+        let wl = Workload::new("acct", seed, vec![Kernel::new("k", 48, 256, spec)]);
+        let cfg = GpuConfig::paper_target(8, MemScale::new(32));
+        let st = Simulator::new(cfg, &wl).run();
+        prop_assert_eq!(st.warp_instrs, wl.approx_warp_instrs());
+        prop_assert_eq!(st.thread_instrs, st.warp_instrs * 32);
+        prop_assert_eq!(st.total_sm_cycles, st.cycles * 8);
+        prop_assert!(st.mem_stall_sm_cycles + st.idle_sm_cycles <= st.total_sm_cycles);
+    }
+}

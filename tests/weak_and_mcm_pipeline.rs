@@ -1,0 +1,92 @@
+//! End-to-end weak-scaling and multi-chiplet pipeline tests.
+
+use gpu_scale_model::core::experiment::{McmExperiment, WeakScalingExperiment};
+use gpu_scale_model::trace::weak::{weak_benchmark, weak_suite};
+use gpu_scale_model::trace::MemScale;
+
+fn scale() -> MemScale {
+    MemScale::new(32)
+}
+
+#[test]
+fn weak_linear_benchmark_predicts_tightly_without_an_mrc() {
+    let bench = weak_benchmark("va", scale()).expect("va exists");
+    let out = WeakScalingExperiment::new(scale())
+        .run_benchmark(&bench)
+        .expect("pipeline runs");
+    assert!(out.outcome.mrc.is_none(), "weak scaling needs no MRC");
+    let sm = out.outcome.method("scale-model").unwrap().at(128).unwrap();
+    assert!(
+        sm.error_pct < 12.0,
+        "weak va scale-model error {}",
+        sm.error_pct
+    );
+}
+
+#[test]
+fn weak_sub_linear_benchmark_beats_proportional() {
+    let bench = weak_benchmark("bfs", scale()).expect("bfs exists");
+    let out = WeakScalingExperiment::new(scale())
+        .run_benchmark(&bench)
+        .expect("pipeline runs");
+    let err = |m: &str| out.outcome.method(m).unwrap().at(128).unwrap().error_pct;
+    assert!(
+        err("scale-model") < err("proportional"),
+        "scale-model {:.1}% vs proportional {:.1}%",
+        err("scale-model"),
+        err("proportional")
+    );
+}
+
+#[test]
+fn weak_scaling_speedup_grows_with_target_size() {
+    let bench = weak_benchmark("bp", scale()).expect("bp exists");
+    let out = WeakScalingExperiment::new(scale())
+        .run_benchmark(&bench)
+        .expect("pipeline runs");
+    let s: Vec<f64> = out.speedups.iter().map(|&(_, v)| v).collect();
+    assert_eq!(out.speedups.len(), 3);
+    assert!(
+        s[0] < s[1] && s[1] < s[2],
+        "speedup must grow with target size: {s:?}"
+    );
+    assert!(s[2] > 2.0, "128-SM speedup should be substantial: {s:?}");
+}
+
+#[test]
+fn mcm_pipeline_predicts_16_chiplets_from_4_and_8() {
+    let bench = weak_benchmark("va", scale()).expect("va exists");
+    let out = McmExperiment::new(scale())
+        .run_benchmark(&bench)
+        .expect("pipeline runs")
+        .expect("va participates in the MCM study");
+    assert_eq!(out.outcome.measured.len(), 3);
+    assert_eq!(
+        out.outcome.measured.iter().map(|m| m.size).collect::<Vec<_>>(),
+        vec![4, 8, 16]
+    );
+    let sm = out.outcome.method("scale-model").unwrap().at(16).unwrap();
+    assert!(
+        sm.error_pct < 15.0,
+        "MCM scale-model error {} out of band",
+        sm.error_pct
+    );
+    // Bigger chiplet counts must be faster in absolute terms.
+    let ipc: Vec<f64> = out.outcome.measured.iter().map(|m| m.ipc).collect();
+    assert!(ipc[0] < ipc[1] && ipc[1] < ipc[2], "IPC must grow: {ipc:?}");
+}
+
+#[test]
+fn mcm_study_covers_exactly_the_papers_five_benchmarks() {
+    let exp = McmExperiment::new(scale());
+    let mut included = Vec::new();
+    for b in weak_suite(scale()) {
+        if b.mcm_rows().is_some() {
+            included.push(b.abbr);
+        } else {
+            assert_eq!(b.abbr, "btree", "only btree is excluded");
+            assert!(exp.run_benchmark(&b).unwrap().is_none());
+        }
+    }
+    assert_eq!(included, vec!["bfs", "bs", "as", "bp", "va"]);
+}
