@@ -2,91 +2,81 @@
 //! associativities the configurations use, MSHR traffic, and the
 //! bandwidth-server models — these dominate the simulator's inner loop.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsim_bench::tinybench::Group;
 use gsim_mem::{Cache, CacheGeometry, DramModel, Mshr, SlicedLlc};
 use gsim_noc::Crossbar;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gsim_rng::Rng64;
 
 const N: u64 = 100_000;
 
 fn addresses(footprint: u64) -> Vec<u64> {
-    let mut rng = SmallRng::seed_from_u64(7);
-    (0..N).map(|_| rng.gen_range(0..footprint)).collect()
+    let mut rng = Rng64::seed_from_u64(7);
+    (0..N).map(|_| rng.gen_range(0, footprint)).collect()
 }
 
-fn cache_accesses(c: &mut Criterion) {
+fn cache_accesses() {
     let addrs = addresses(100_000);
-    let mut g = c.benchmark_group("cache_access");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("l1_6way", |b| {
+    let g = Group::new("cache_access").throughput(N);
+    {
         let mut cache = Cache::new(CacheGeometry::new(48 * 1024, 6, 128));
-        b.iter(|| {
+        g.bench("l1_6way", || {
             for &a in &addrs {
                 cache.access(a, false);
             }
-        })
-    });
-    g.bench_function("llc_slice_64way", |b| {
+        });
+    }
+    {
         let mut cache = Cache::new(CacheGeometry::new(512 * 1024, 64, 128));
-        b.iter(|| {
+        g.bench("llc_slice_64way", || {
             for &a in &addrs {
                 cache.access(a, false);
             }
-        })
-    });
-    g.bench_function("sliced_llc_64_slices", |b| {
+        });
+    }
+    {
         let mut llc = SlicedLlc::new(34 * 1024 * 1024 / 8, 64, 64, 128);
-        b.iter(|| {
+        g.bench("sliced_llc_64_slices", || {
             for &a in &addrs {
                 llc.access(a, false);
             }
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn mshr_traffic(c: &mut Criterion) {
+fn mshr_traffic() {
     let addrs = addresses(1_000);
-    let mut g = c.benchmark_group("mshr");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("register_merge_complete", |b| {
-        b.iter(|| {
-            let mut m = Mshr::new(384);
-            for (i, &a) in addrs.iter().enumerate() {
-                let now = i as u64;
-                if m.is_full() {
-                    m.complete_up_to(now);
-                }
-                let _ = m.register(a, now + 300);
+    let g = Group::new("mshr").throughput(N);
+    g.bench("register_merge_complete", || {
+        let mut m = Mshr::new(384);
+        for (i, &a) in addrs.iter().enumerate() {
+            let now = i as u64;
+            if m.is_full() {
+                m.complete_up_to(now);
             }
-        })
+            let _ = m.register(a, now + 300);
+        }
     });
-    g.finish();
 }
 
-fn bandwidth_servers(c: &mut Criterion) {
+fn bandwidth_servers() {
     let addrs = addresses(1 << 30);
-    let mut g = c.benchmark_group("bandwidth_models");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("dram_16mc", |b| {
-        b.iter(|| {
-            let mut d = DramModel::new(16, 145.0, 1.0, 150);
-            for (i, &a) in addrs.iter().enumerate() {
-                d.read(i as u64, a, 128);
-            }
-        })
+    let g = Group::new("bandwidth_models").throughput(N);
+    g.bench("dram_16mc", || {
+        let mut d = DramModel::new(16, 145.0, 1.0, 150);
+        for (i, &a) in addrs.iter().enumerate() {
+            d.read(i as u64, a, 128);
+        }
     });
-    g.bench_function("crossbar", |b| {
-        b.iter(|| {
-            let mut x = Crossbar::from_gbs(2696.0, 1.0, 12);
-            for i in 0..N {
-                x.traverse(i as f64, 64);
-            }
-        })
+    g.bench("crossbar", || {
+        let mut x = Crossbar::from_gbs(2696.0, 1.0, 12);
+        for i in 0..N {
+            x.traverse(i as f64, 64);
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, cache_accesses, mshr_traffic, bandwidth_servers);
-criterion_main!(benches);
+fn main() {
+    cache_accesses();
+    mshr_traffic();
+    bandwidth_servers();
+}

@@ -5,7 +5,7 @@
 //! the detailed timing simulation, the functional replay collector, and
 //! the single-pass stack-distance engines (exact tree and SHARDS-sampled).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gsim_bench::tinybench::Group;
 use gsim_mem::mrc::{DistanceEngine, NaiveStack, ShardsStack, TreeStack};
 use gsim_sim::{collect_mrc, GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
@@ -34,58 +34,49 @@ fn gather_lines(limit_ctas: u32) -> Vec<u64> {
     lines
 }
 
-fn detailed_simulation(c: &mut Criterion) {
+fn detailed_simulation() {
     let bench = strong_benchmark("bfs", scale()).expect("bfs exists");
     let cfg = GpuConfig::paper_target(128, scale());
-    let mut g = c.benchmark_group("mrc_vs_detailed");
-    g.sample_size(10);
-    g.bench_function("detailed_timing_sim_128sm", |b| {
-        b.iter(|| Simulator::new(cfg.clone(), &bench.workload).run())
+    let g = Group::new("mrc_vs_detailed").samples(10);
+    g.bench("detailed_timing_sim_128sm", || {
+        Simulator::new(cfg.clone(), &bench.workload).run()
     });
     let configs: Vec<GpuConfig> = [8u32, 16, 32, 64, 128]
         .iter()
         .map(|&s| GpuConfig::paper_target(s, scale()))
         .collect();
-    g.bench_function("functional_replay_5_capacities", |b| {
-        b.iter(|| collect_mrc(&bench.workload, &configs))
+    g.bench("functional_replay_5_capacities", || {
+        collect_mrc(&bench.workload, &configs)
     });
-    g.finish();
 }
 
-fn stack_engines(c: &mut Criterion) {
+fn stack_engines() {
     let lines = gather_lines(64);
-    let mut g = c.benchmark_group("stack_distance");
-    g.sample_size(10);
-    g.throughput(criterion::Throughput::Elements(lines.len() as u64));
-    g.bench_function("tree_exact", |b| {
-        b.iter(|| {
-            let mut e = TreeStack::with_capacity(lines.len());
-            e.record_all(lines.iter().copied());
-            e.finish()
-        })
+    let g = Group::new("stack_distance")
+        .samples(10)
+        .throughput(lines.len() as u64);
+    g.bench("tree_exact", || {
+        let mut e = TreeStack::with_capacity(lines.len());
+        e.record_all(lines.iter().copied());
+        e.finish()
     });
-    g.bench_function("shards_10pct", |b| {
-        b.iter(|| {
-            let mut e = ShardsStack::new(0.1);
-            e.record_all(lines.iter().copied());
-            e.finish()
-        })
+    g.bench("shards_10pct", || {
+        let mut e = ShardsStack::new(0.1);
+        e.record_all(lines.iter().copied());
+        e.finish()
     });
-    g.finish();
 
     // The quadratic reference implementation, on a small prefix only.
     let small = &lines[..lines.len().min(20_000)];
-    let mut g = c.benchmark_group("stack_distance_reference");
-    g.sample_size(10);
-    g.bench_function("naive_20k", |b| {
-        b.iter(|| {
-            let mut e = NaiveStack::new();
-            e.record_all(small.iter().copied());
-            e.finish()
-        })
+    let g = Group::new("stack_distance_reference").samples(10);
+    g.bench("naive_20k", || {
+        let mut e = NaiveStack::new();
+        e.record_all(small.iter().copied());
+        e.finish()
     });
-    g.finish();
 }
 
-criterion_group!(benches, detailed_simulation, stack_engines);
-criterion_main!(benches);
+fn main() {
+    detailed_simulation();
+    stack_engines();
+}

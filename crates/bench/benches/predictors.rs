@@ -1,40 +1,37 @@
 //! Prediction cost: the artifact notes "the prediction step is
 //! instantaneous" — all five models must be sub-microsecond.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gsim_bench::tinybench::Group;
 use gsim_core::{
     LinearRegression, LogRegression, PowerLawRegression, Proportional, ScaleModelInputs,
     ScaleModelPredictor, ScalingPredictor,
 };
 
-fn predictor_fits(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fit");
-    g.bench_function("proportional", |b| {
-        b.iter(|| Proportional::fit(8, 120.0, 16, 232.0).unwrap())
+fn predictor_fits() {
+    let g = Group::new("fit");
+    g.bench("proportional", || {
+        Proportional::fit(8, 120.0, 16, 232.0).unwrap()
     });
-    g.bench_function("linear", |b| {
-        b.iter(|| LinearRegression::fit(8, 120.0, 16, 232.0).unwrap())
+    g.bench("linear", || {
+        LinearRegression::fit(8, 120.0, 16, 232.0).unwrap()
     });
-    g.bench_function("power_law", |b| {
-        b.iter(|| PowerLawRegression::fit(8, 120.0, 16, 232.0).unwrap())
+    g.bench("power_law", || {
+        PowerLawRegression::fit(8, 120.0, 16, 232.0).unwrap()
     });
-    g.bench_function("logarithmic", |b| {
-        b.iter(|| LogRegression::fit(8, 120.0, 16, 232.0).unwrap())
+    g.bench("logarithmic", || {
+        LogRegression::fit(8, 120.0, 16, 232.0).unwrap()
     });
-    g.bench_function("scale_model_with_mrc", |b| {
-        b.iter(|| {
-            ScaleModelPredictor::new(
-                ScaleModelInputs::new(8, 120.0, 16, 232.0)
-                    .with_mrc([(8, 8.0), (16, 8.0), (32, 7.9), (64, 7.8), (128, 0.6)])
-                    .with_f_mem(0.5),
-            )
-            .unwrap()
-        })
+    g.bench("scale_model_with_mrc", || {
+        ScaleModelPredictor::new(
+            ScaleModelInputs::new(8, 120.0, 16, 232.0)
+                .with_mrc([(8, 8.0), (16, 8.0), (32, 7.9), (64, 7.8), (128, 0.6)])
+                .with_f_mem(0.5),
+        )
+        .unwrap()
     });
-    g.finish();
 }
 
-fn predictor_queries(c: &mut Criterion) {
+fn predictor_queries() {
     let sm = ScaleModelPredictor::new(
         ScaleModelInputs::new(8, 120.0, 16, 232.0)
             .with_mrc([(8, 8.0), (16, 8.0), (32, 7.9), (64, 7.8), (128, 0.6)])
@@ -42,11 +39,12 @@ fn predictor_queries(c: &mut Criterion) {
     )
     .unwrap();
     let pow = PowerLawRegression::fit(8, 120.0, 16, 232.0).unwrap();
-    let mut g = c.benchmark_group("predict_128sm");
-    g.bench_function("scale_model", |b| b.iter(|| sm.predict(128.0)));
-    g.bench_function("power_law", |b| b.iter(|| pow.predict(128.0)));
-    g.finish();
+    let g = Group::new("predict_128sm");
+    g.bench("scale_model", || sm.predict(128.0));
+    g.bench("power_law", || pow.predict(128.0));
 }
 
-criterion_group!(benches, predictor_fits, predictor_queries);
-criterion_main!(benches);
+fn main() {
+    predictor_fits();
+    predictor_queries();
+}

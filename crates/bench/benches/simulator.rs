@@ -5,7 +5,7 @@
 //! footnote 1 of the paper) and weak scaling (input grows with the target
 //! — the Figure 7 speedups come from exactly this gap).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsim_bench::tinybench::Group;
 use gsim_sim::{GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
 use gsim_trace::weak::weak_benchmark;
@@ -15,32 +15,28 @@ fn scale() -> MemScale {
     MemScale::new(32)
 }
 
-fn strong_scaling_cost(c: &mut Criterion) {
+fn strong_scaling_cost() {
     let bench = strong_benchmark("pf", scale()).expect("pf exists");
-    let mut g = c.benchmark_group("simulate_strong_pf");
-    g.sample_size(10);
+    let g = Group::new("simulate_strong_pf").samples(10);
     for sms in [8u32, 16, 128] {
         let cfg = GpuConfig::paper_target(sms, scale());
-        g.bench_with_input(BenchmarkId::from_parameter(sms), &cfg, |b, cfg| {
-            b.iter(|| Simulator::new(cfg.clone(), &bench.workload).run())
+        g.bench(&sms.to_string(), || {
+            Simulator::new(cfg.clone(), &bench.workload).run()
         });
     }
-    g.finish();
 }
 
-fn weak_scaling_cost(c: &mut Criterion) {
+fn weak_scaling_cost() {
     let bench = weak_benchmark("va", scale()).expect("va exists");
-    let mut g = c.benchmark_group("simulate_weak_va");
-    g.sample_size(10);
+    let g = Group::new("simulate_weak_va").samples(10);
     for sms in [8u32, 16, 128] {
         let wl = bench.workload_for_sms(sms);
         let cfg = GpuConfig::paper_target(sms, scale());
-        g.bench_with_input(BenchmarkId::from_parameter(sms), &(cfg, wl), |b, (cfg, wl)| {
-            b.iter(|| Simulator::new(cfg.clone(), wl).run())
-        });
+        g.bench(&sms.to_string(), || Simulator::new(cfg.clone(), &wl).run());
     }
-    g.finish();
 }
 
-criterion_group!(benches, strong_scaling_cost, weak_scaling_cost);
-criterion_main!(benches);
+fn main() {
+    strong_scaling_cost();
+    weak_scaling_cost();
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! gsim list
 //! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak]
+//! gsim sweep <benchmark> [--scale D] [--threads N] [--weak]
 //! gsim mcm <benchmark> [--chiplets C] [--scale D]
 //! gsim mrc <benchmark> [--scale D]
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
@@ -10,23 +11,26 @@
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
-//! input matched to `--sms`); `trace-dump`/`trace-run` exercise the
-//! trace-driven front-end; `mrc` prints the functional miss-rate curve
-//! with region labels.
+//! input matched to `--sms`); `sweep` simulates the whole 8–128-SM size
+//! ladder on a gsim-runner worker pool; `trace-dump`/`trace-run` exercise
+//! the trace-driven front-end; `mrc` prints the functional miss-rate
+//! curve with region labels.
 
 use std::fs::File;
 use std::process::exit;
 
 use gsim_core::{detect_cliff, SizedMrc};
+use gsim_runner::{ProgressReporter, Runner, RunnerConfig};
 use gsim_sim::{collect_mrc, ChipletConfig, GpuConfig, SimStats, Simulator};
 use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_benchmark, weak_suite};
-use gsim_trace::{MemScale, TracedWorkload, WorkloadModel};
+use gsim_trace::{MemScale, TracedWorkload, Workload, WorkloadModel};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gsim list\n  gsim run <benchmark> [--sms N] [--scale D] \
-         [--banked-dram BANKS] [--weak]\n  gsim mcm <benchmark> [--chiplets C] [--scale D]\n  \
+         [--banked-dram BANKS] [--weak]\n  gsim sweep <benchmark> [--scale D] [--threads N] \
+         [--weak]\n  gsim mcm <benchmark> [--chiplets C] [--scale D]\n  \
          gsim mrc <benchmark> [--scale D]\n  gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
          gsim trace-run <file> [--sms N] [--scale D]"
     );
@@ -38,6 +42,7 @@ struct Flags {
     chiplets: u32,
     scale: MemScale,
     banked_dram: u32,
+    threads: usize,
     weak: bool,
     output: Option<String>,
     positional: Vec<String>,
@@ -49,6 +54,7 @@ fn parse(args: &[String]) -> Flags {
         chiplets: 4,
         scale: MemScale::default(),
         banked_dram: 0,
+        threads: 0,
         weak: false,
         output: None,
         positional: Vec::new(),
@@ -56,18 +62,17 @@ fn parse(args: &[String]) -> Flags {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |name: &str| -> u32 {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("{name} takes an integer");
-                    exit(2)
-                })
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} takes an integer");
+                exit(2)
+            })
         };
         match a.as_str() {
             "--sms" => f.sms = num("--sms"),
             "--chiplets" => f.chiplets = num("--chiplets"),
             "--scale" => f.scale = MemScale::new(num("--scale")),
             "--banked-dram" => f.banked_dram = num("--banked-dram"),
+            "--threads" => f.threads = num("--threads") as usize,
             "--weak" => f.weak = true,
             "-o" | "--output" => f.output = it.next().cloned(),
             other if other.starts_with('-') => {
@@ -92,7 +97,10 @@ fn print_stats(label: &str, st: &SimStats) {
     println!("  f_mem             {:>14.2}", st.f_mem());
     println!("  f_idle            {:>14.2}", st.f_idle());
     println!("  DRAM bytes        {:>14}", st.dram_bytes);
-    println!("  CTAs / kernels    {:>9} / {:<4}", st.ctas_executed, st.kernels_executed);
+    println!(
+        "  CTAs / kernels    {:>9} / {:<4}",
+        st.ctas_executed, st.kernels_executed
+    );
     println!("  simulated in      {:>12.2} s", st.sim_wall_seconds);
 }
 
@@ -139,6 +147,78 @@ fn main() {
             let st = Simulator::new(cfg, &wl).run();
             print_stats(&format!("{name} on {} SMs ({})", f.sms, f.scale), &st);
         }
+        "sweep" => {
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            // One simulation job per system size, run on the worker pool.
+            let workload_for: Box<dyn Fn(u32) -> Workload + Send + Sync> = if f.weak {
+                let bench = weak_benchmark(name, f.scale).unwrap_or_else(|| {
+                    eprintln!("unknown weak benchmark {name}");
+                    exit(2)
+                });
+                Box::new(move |sms| bench.workload_for_sms(sms))
+            } else {
+                let bench = strong_benchmark(name, f.scale).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {name}; try `gsim list`");
+                    exit(2)
+                });
+                Box::new(move |_| bench.workload.clone())
+            };
+            let scale = f.scale;
+            let sizes = [8u32, 16, 32, 64, 128];
+            let runner = Runner::new(RunnerConfig {
+                threads: f.threads,
+                ..RunnerConfig::default()
+            })
+            .with_sink(ProgressReporter::new());
+            let reports = runner.map(
+                &format!("sweep-{name}"),
+                sizes
+                    .iter()
+                    .map(|&z| (format!("{name}@{z}sm"), z))
+                    .collect(),
+                move |&sms: &u32| {
+                    let cfg = GpuConfig::paper_target(sms, scale);
+                    Simulator::new(cfg, &workload_for(sms)).run()
+                },
+            );
+            println!(
+                "{name} {} sweep over the size ladder ({}):",
+                if f.weak {
+                    "weak-scaling"
+                } else {
+                    "strong-scaling"
+                },
+                f.scale
+            );
+            println!(
+                "  {:>5}  {:>12}  {:>10}  {:>7}  {:>7}",
+                "#SMs", "cycles", "IPC", "MPKI", "f_mem"
+            );
+            let mut failed = false;
+            for (report, &sms) in reports.iter().zip(&sizes) {
+                match report.ok() {
+                    Some(st) => println!(
+                        "  {:>5}  {:>12}  {:>10.1}  {:>7.2}  {:>7.2}",
+                        sms,
+                        st.cycles,
+                        st.sustained_ipc(),
+                        st.mpki(),
+                        st.f_mem()
+                    ),
+                    None => {
+                        failed = true;
+                        println!(
+                            "  {:>5}  {}",
+                            sms,
+                            report.failure().unwrap_or_else(|| "failed".into())
+                        );
+                    }
+                }
+            }
+            if failed {
+                exit(1);
+            }
+        }
         "mcm" => {
             let name = f.positional.first().unwrap_or_else(|| usage());
             let bench = weak_benchmark(name, f.scale).unwrap_or_else(|| {
@@ -170,12 +250,7 @@ fn main() {
                 .map(|&z| GpuConfig::paper_target(z, f.scale))
                 .collect();
             let curve = collect_mrc(&bench.workload, &configs);
-            let mrc = SizedMrc::new(
-                sizes
-                    .iter()
-                    .zip(curve.points())
-                    .map(|(&z, p)| (z, p.mpki)),
-            );
+            let mrc = SizedMrc::new(sizes.iter().zip(curve.points()).map(|(&z, p)| (z, p.mpki)));
             println!("{name} miss-rate curve:");
             for ((size, region), cfg) in mrc.regions().iter().zip(&configs) {
                 println!(

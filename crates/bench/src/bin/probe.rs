@@ -17,7 +17,13 @@ fn main() {
         .iter()
         .map(|&s| GpuConfig::paper_target(s, scale))
         .collect();
-    for b in strong_suite(scale) {
+    let suite = strong_suite(scale);
+    for p in &pick {
+        if !suite.iter().any(|b| &b.abbr == p) {
+            eprintln!("probe: unknown benchmark {p} (known: Table II abbreviations)");
+        }
+    }
+    for b in suite {
         if !pick.contains(&b.abbr) {
             continue;
         }

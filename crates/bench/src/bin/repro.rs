@@ -1,18 +1,29 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale N] [SECTION ...]
+//! repro [OPTIONS] [SECTION ...]
+//!   --scale N          memory divisor for the miniature (default 8)
+//!   --threads N        sweep worker threads (0 = auto, the default)
+//!   --metrics FILE     append JSONL sweep metrics to FILE
+//!   --inject-panic B   replace benchmark B's job with one that panics
+//!                      (failure-isolation demo; the sweep still completes)
 //!   SECTION: table1 table2 table3 table4 table5
 //!            fig1 fig2 fig4a fig4b fig5 fig6 fig7 fig8 appendix
+//!            ablations multicliff sampling
 //!   (no sections = run everything)
 //! ```
 //!
 //! Output goes to stdout and to `results/<section>.txt`. Strong-scaling
 //! simulations are run once and shared by table2/fig1/fig2/fig4/fig5/
-//! appendix; weak by table4/fig6/fig7; MCM by table5/fig8.
+//! appendix; weak by table4/fig6/fig7; MCM by table5/fig8. The
+//! benchmark sweeps run on a gsim-runner worker pool: one job per
+//! benchmark, failures recorded per job and summarised at the end
+//! (nonzero exit) instead of tearing the run down.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
 
 use gsim_bench::{emit, mb};
 use gsim_core::ablation::{
@@ -22,52 +33,149 @@ use gsim_core::experiment::{
     aggregate_error, reanalyze, BenchmarkOutcome, McmExperiment, StrongScalingExperiment,
     WeakOutcome, WeakScalingExperiment, METHODS,
 };
-use gsim_core::sampling::compare_sampling;
-use gsim_core::{
-    MultiCliffPredictor, ScaleModelInputs, ScaleModelPredictor, SizedMrc,
-};
-use gsim_mem::ReplacementPolicy;
-use gsim_sim::{collect_mrc, Simulator};
-use gsim_trace::suite::strong_benchmark;
-use gsim_trace::{Kernel, PatternKind, PatternSpec, Workload};
+use gsim_core::parallel::{collect, SweepFailure};
 use gsim_core::report::{ipc, pct, ratio, TextTable};
-use gsim_sim::{ChipletConfig, GpuConfig};
-use gsim_trace::suite::strong_suite;
+use gsim_core::sampling::compare_sampling;
+use gsim_core::{MultiCliffPredictor, ScaleModelInputs, ScaleModelPredictor, SizedMrc};
+use gsim_mem::ReplacementPolicy;
+use gsim_runner::{EventSink, Job, JsonlSink, ProgressReporter, Runner, RunnerConfig};
+use gsim_sim::{collect_mrc, ChipletConfig, GpuConfig, Simulator};
+use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_suite, WEAK_SM_SIZES};
-use gsim_trace::MemScale;
+use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
 
 const ALL_SECTIONS: [&str; 17] = [
-    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig4a", "fig4b",
-    "fig5", "fig6", "fig7", "fig8", "appendix", "ablations", "multicliff", "sampling",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig2",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "appendix",
+    "ablations",
+    "multicliff",
+    "sampling",
 ];
 
-fn main() {
-    let mut scale = MemScale::default();
-    let mut sections: BTreeSet<String> = BTreeSet::new();
-    let mut args = std::env::args().skip(1);
+const USAGE: &str = "usage: repro [--scale N] [--threads N] [--metrics FILE] \
+                     [--inject-panic BENCH] [SECTION ...]";
+
+struct Options {
+    scale: MemScale,
+    threads: usize,
+    metrics: Option<String>,
+    inject_panic: Option<String>,
+    sections: BTreeSet<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: MemScale::default(),
+        threads: 0,
+        metrics: None,
+        inject_panic: None,
+        sections: BTreeSet::new(),
+    };
+    let mut args = args.peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
             "--scale" => {
-                let d: u32 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale takes a divisor");
-                scale = MemScale::new(d);
+                let v = args.next().ok_or("--scale requires a value")?;
+                let d: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--scale takes a positive integer divisor, got {v:?}"))?;
+                if d == 0 {
+                    return Err("--scale divisor must be nonzero".into());
+                }
+                opts.scale = MemScale::new(d);
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads requires a value")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads takes a thread count, got {v:?}"))?;
+            }
+            "--metrics" => {
+                opts.metrics = Some(args.next().ok_or("--metrics requires a file path")?);
+            }
+            "--inject-panic" => {
+                opts.inject_panic = Some(
+                    args.next()
+                        .ok_or("--inject-panic requires a benchmark name")?,
+                );
             }
             s => {
                 let s = s.trim_start_matches("--").to_string();
-                assert!(
-                    ALL_SECTIONS.contains(&s.as_str()),
-                    "unknown section {s}; known: {ALL_SECTIONS:?}"
-                );
-                sections.insert(s);
+                if !ALL_SECTIONS.contains(&s.as_str()) {
+                    return Err(format!(
+                        "unknown section or option {s:?}; sections: {}",
+                        ALL_SECTIONS.join(" ")
+                    ));
+                }
+                opts.sections.insert(s);
             }
         }
     }
-    if sections.is_empty() {
-        sections = ALL_SECTIONS.iter().map(|s| s.to_string()).collect();
+    if opts.sections.is_empty() {
+        opts.sections = ALL_SECTIONS.iter().map(|s| s.to_string()).collect();
     }
-    let want = |s: &str| sections.contains(s);
+    Ok(opts)
+}
+
+/// Replaces the job named `victim` (if present) with one that panics —
+/// the failure-isolation demonstration. Returns whether a job matched.
+fn inject_panic<T: Send + 'static>(jobs: &mut [Job<T>], victim: &str) -> bool {
+    if let Some(j) = jobs.iter_mut().find(|j| j.name() == victim) {
+        let name = victim.to_string();
+        *j = Job::new(name.clone(), move || -> T {
+            panic!("injected failure in {name} (--inject-panic)")
+        });
+        true
+    } else {
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("repro: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = opts.scale;
+    let want = |s: &str| opts.sections.contains(s);
+
+    let mut runner = Runner::new(RunnerConfig {
+        threads: opts.threads,
+        ..RunnerConfig::default()
+    })
+    .with_sink(ProgressReporter::new());
+    if let Some(path) = &opts.metrics {
+        match JsonlSink::create(path) {
+            Ok(sink) => runner.add_sink(Arc::new(sink) as Arc<dyn EventSink>),
+            Err(e) => {
+                eprintln!("repro: cannot create metrics file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut failures: Vec<SweepFailure> = Vec::new();
+    let mut injected = false;
 
     if want("table1") {
         emit("table1", &table1(scale));
@@ -79,14 +187,25 @@ fn main() {
         emit("table5", &table5(scale));
     }
 
-    let strong_needed = ["table2", "fig1", "fig2", "fig4a", "fig4b", "fig5", "appendix"]
-        .iter()
-        .any(|s| want(s));
+    let strong_needed = [
+        "table2", "fig1", "fig2", "fig4a", "fig4b", "fig5", "appendix",
+    ]
+    .iter()
+    .any(|s| want(s));
     if strong_needed {
-        eprintln!("[repro] running strong-scaling suite ({scale}) ...");
+        eprintln!(
+            "[repro] running strong-scaling suite ({scale}) on {} thread(s) ...",
+            runner.threads()
+        );
         let suite = strong_suite(scale);
         let exp = StrongScalingExperiment::new(scale);
-        let outcomes = exp.run_suite(&suite).expect("strong pipeline");
+        let mut jobs = exp.jobs(&suite);
+        if let Some(victim) = &opts.inject_panic {
+            injected |= inject_panic(&mut jobs, victim);
+        }
+        let run = collect(runner.run("strong", jobs));
+        failures.extend(run.failures.iter().cloned());
+        let outcomes = run.outcomes;
         if want("table2") {
             emit("table2", &table2(scale, &outcomes));
         }
@@ -112,13 +231,19 @@ fn main() {
 
     let weak_needed = ["table4", "fig6", "fig7"].iter().any(|s| want(s));
     if weak_needed {
-        eprintln!("[repro] running weak-scaling suite ({scale}) ...");
+        eprintln!(
+            "[repro] running weak-scaling suite ({scale}) on {} thread(s) ...",
+            runner.threads()
+        );
         let suite = weak_suite(scale);
         let exp = WeakScalingExperiment::new(scale);
-        let outcomes: Vec<WeakOutcome> = suite
-            .iter()
-            .map(|b| exp.run_benchmark(b).expect("weak pipeline"))
-            .collect();
+        let mut jobs = exp.jobs(&suite);
+        if let Some(victim) = &opts.inject_panic {
+            injected |= inject_panic(&mut jobs, victim);
+        }
+        let run = collect(runner.run("weak", jobs));
+        failures.extend(run.failures.iter().cloned());
+        let outcomes = run.outcomes;
         if want("table4") {
             emit("table4", &table4(scale));
         }
@@ -136,27 +261,57 @@ fn main() {
     }
     if want("multicliff") {
         eprintln!("[repro] running multi-cliff extension study ({scale}) ...");
-        emit("multicliff", &multicliff(scale));
+        emit("multicliff", &multicliff(scale, &runner));
     }
     if want("sampling") {
         eprintln!("[repro] running kernel-sampling comparison ({scale}) ...");
-        emit("sampling", &sampling(scale));
+        emit("sampling", &sampling(scale, &runner));
     }
     if want("fig8") {
-        eprintln!("[repro] running multi-chiplet case study ({scale}) ...");
+        eprintln!(
+            "[repro] running multi-chiplet case study ({scale}) on {} thread(s) ...",
+            runner.threads()
+        );
         let suite = weak_suite(scale);
         let exp = McmExperiment::new(scale);
-        let outcomes: Vec<WeakOutcome> = suite
-            .iter()
-            .filter_map(|b| exp.run_benchmark(b).expect("mcm pipeline"))
-            .collect();
-        emit("fig8", &fig8(&outcomes));
+        let mut jobs = exp.jobs(&suite);
+        if let Some(victim) = &opts.inject_panic {
+            injected |= inject_panic(&mut jobs, victim);
+        }
+        let run = collect(runner.run("mcm", jobs));
+        failures.extend(run.failures.iter().cloned());
+        emit("fig8", &fig8(&run.outcomes));
+    }
+
+    if let Some(victim) = &opts.inject_panic {
+        if !injected {
+            eprintln!(
+                "[repro] --inject-panic {victim}: no job with that name ran; \
+                 nothing was injected"
+            );
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[repro] {} job(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("[repro]   {f}");
+        }
+        eprintln!("[repro] affected rows are missing from the emitted tables");
+        ExitCode::FAILURE
     }
 }
 
 fn table1(scale: MemScale) -> String {
     let mut t = TextTable::new(vec![
-        "role", "#SMs", "LLC (MB)", "slices", "NoC BW (GB/s)", "DRAM (GB/s)", "MCs",
+        "role",
+        "#SMs",
+        "LLC (MB)",
+        "slices",
+        "NoC BW (GB/s)",
+        "DRAM (GB/s)",
+        "MCs",
         "GB/s per MC",
     ]);
     for (role, sms) in [
@@ -198,11 +353,13 @@ fn table2(scale: MemScale, outcomes: &[BenchmarkOutcome]) -> String {
         "measured",
     ]);
     let mut agree = 0;
+    let mut rows = 0;
     for b in &suite {
-        let o = outcomes
-            .iter()
-            .find(|o| o.abbr == b.abbr)
-            .expect("outcome per benchmark");
+        // A benchmark whose job failed has no outcome; its row is dropped.
+        let Some(o) = outcomes.iter().find(|o| o.abbr == b.abbr) else {
+            continue;
+        };
+        rows += 1;
         if o.measured_class == b.expected {
             agree += 1;
         }
@@ -219,8 +376,7 @@ fn table2(scale: MemScale, outcomes: &[BenchmarkOutcome]) -> String {
     }
     format!(
         "Table II: strong-scaling benchmarks and their scaling behaviour\n\
-         (measured class from simulated IPC over 8..128 SMs; {agree}/{} match the paper)\n\n{}",
-        suite.len(),
+         (measured class from simulated IPC over 8..128 SMs; {agree}/{rows} match the paper)\n\n{}",
         t.render()
     )
 }
@@ -228,7 +384,10 @@ fn table2(scale: MemScale, outcomes: &[BenchmarkOutcome]) -> String {
 fn table3(scale: MemScale) -> String {
     let c = GpuConfig::baseline_128sm(scale);
     let mut t = TextTable::new(vec!["parameter", "value"]);
-    t.row(vec!["SM clock".into(), format!("{:.1} GHz", c.sm_clock_ghz)]);
+    t.row(vec![
+        "SM clock".into(),
+        format!("{:.1} GHz", c.sm_clock_ghz),
+    ]);
     t.row(vec![
         "threads per SM".into(),
         format!(
@@ -237,7 +396,10 @@ fn table3(scale: MemScale) -> String {
         ),
     ]);
     t.row(vec!["CTA scheduling".into(), "round-robin".into()]);
-    t.row(vec!["warp scheduling".into(), "greedy-then-oldest (GTO)".into()]);
+    t.row(vec![
+        "warp scheduling".into(),
+        "greedy-then-oldest (GTO)".into(),
+    ]);
     t.row(vec![
         "L1 per SM".into(),
         format!(
@@ -269,7 +431,12 @@ fn table3(scale: MemScale) -> String {
 
 fn table4(scale: MemScale) -> String {
     let mut t = TextTable::new(vec![
-        "bench", "MCM", "CTAs (paper)", "footprint (MB)", "#insns (M)", "expected",
+        "bench",
+        "MCM",
+        "CTAs (paper)",
+        "footprint (MB)",
+        "#insns (M)",
+        "expected",
     ]);
     for b in weak_suite(scale) {
         for r in &b.rows {
@@ -295,7 +462,10 @@ fn table5(scale: MemScale) -> String {
     let c = &m.chiplet;
     let mut t = TextTable::new(vec!["parameter", "value"]);
     t.row(vec!["#SMs/chiplet".into(), c.n_sms.to_string()]);
-    t.row(vec!["SM clock".into(), format!("{:.1} GHz", c.sm_clock_ghz)]);
+    t.row(vec![
+        "SM clock".into(),
+        format!("{:.1} GHz", c.sm_clock_ghz),
+    ]);
     t.row(vec!["CTA scheduling".into(), "distributed".into()]);
     t.row(vec!["page allocation".into(), "first-touch".into()]);
     t.row(vec![
@@ -313,7 +483,10 @@ fn table5(scale: MemScale) -> String {
     ]);
     t.row(vec![
         "inter-chiplet NoC".into(),
-        format!("fly topology, {:.0} GB/s per chiplet", m.interchiplet_gbs_per_chiplet),
+        format!(
+            "fly topology, {:.0} GB/s per chiplet",
+            m.interchiplet_gbs_per_chiplet
+        ),
     ]);
     t.row(vec![
         "memory".into(),
@@ -337,7 +510,9 @@ fn fig1(outcomes: &[BenchmarkOutcome]) -> String {
          bfs sub-linear, pf linear), with the linear-scaling reference\n\n",
     );
     for abbr in ["dct", "bfs", "pf"] {
-        let o = outcomes.iter().find(|o| o.abbr == abbr).expect("benchmark");
+        let Some(o) = outcomes.iter().find(|o| o.abbr == abbr) else {
+            continue;
+        };
         let base = o.measured[0].ipc / f64::from(o.measured[0].size);
         let mut t = TextTable::new(vec!["#SMs", "real IPC", "linear scaling"]);
         for m in &o.measured {
@@ -358,7 +533,9 @@ fn fig2(scale: MemScale, outcomes: &[BenchmarkOutcome]) -> String {
          sharp cliff (dct), gradual decrease (bfs), flat (pf)\n\n",
     );
     for abbr in ["dct", "bfs", "pf"] {
-        let o = outcomes.iter().find(|o| o.abbr == abbr).expect("benchmark");
+        let Some(o) = outcomes.iter().find(|o| o.abbr == abbr) else {
+            continue;
+        };
         let mrc = o.mrc.as_ref().expect("strong outcomes carry an MRC");
         let mut t = TextTable::new(vec!["LLC (MB, paper units)", "MPKI"]);
         for &(size, mpki) in mrc.points() {
@@ -540,7 +717,12 @@ fn fig8(outcomes: &[WeakOutcome]) -> String {
                     .unwrap_or_default(),
             );
         }
-        row.push(w.speedups.first().map(|&(_, s)| ratio(s)).unwrap_or_default());
+        row.push(
+            w.speedups
+                .first()
+                .map(|&(_, s)| ratio(s))
+                .unwrap_or_default(),
+        );
         t.row(row);
     }
     let mut summary = TextTable::new(vec!["method", "avg error (%)", "max error (%)"]);
@@ -560,7 +742,7 @@ fn fig8(outcomes: &[WeakOutcome]) -> String {
 fn appendix(outcomes: &[BenchmarkOutcome]) -> String {
     let redone: Vec<BenchmarkOutcome> = outcomes
         .iter()
-        .map(|o| reanalyze(o, 16, 32).expect("reanalyze with 16/32 models"))
+        .filter_map(|o| reanalyze(o, 16, 32).ok())
         .collect();
     let mut out = String::from(
         "Artifact appendix: 16-SM and 32-SM scale models predicting the 64-\n\
@@ -588,7 +770,13 @@ fn ablations(scale: MemScale) -> String {
         "Ablations: why the methodology is built the way it is\n\n         (A1) Proportional vs non-proportional scale models (Section II's\n         design rule). Scale models built once for the 128-SM system are\n         reused to predict the 64-SM target:\n\n",
     );
     let mut t = TextTable::new(vec![
-        "bench", "style", "IPC(8)", "IPC(16)", "predicted", "real", "error (%)",
+        "bench",
+        "style",
+        "IPC(8)",
+        "IPC(16)",
+        "predicted",
+        "real",
+        "error (%)",
     ]);
     for abbr in ["dct", "pf"] {
         let bench = strong_benchmark(abbr, scale).expect("benchmark");
@@ -637,7 +825,11 @@ fn ablations(scale: MemScale) -> String {
         "(A4) Replacement policy: miss-rate-curve cliffs are an LRU\n         artefact (Talus [11]); random LLC replacement smooths dct's cliff\n         and with it the super-linear jump:\n"
     );
     let mut t = TextTable::new(vec![
-        "policy", "IPC(64)", "IPC(128)", "64->128 step", "MPKI(128)",
+        "policy",
+        "IPC(64)",
+        "IPC(128)",
+        "64->128 step",
+        "MPKI(128)",
     ]);
     let dct = strong_benchmark("dct", scale).expect("dct exists");
     for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Random] {
@@ -661,7 +853,12 @@ fn ablations(scale: MemScale) -> String {
         out,
         "(A3) Source of the Eq. (3) memory-stall fraction: largest scale\n         model (paper) vs smallest, predicting the cliff benchmarks:\n"
     );
-    let mut t = TextTable::new(vec!["bench", "target", "f_mem(16) err (%)", "f_mem(8) err (%)"]);
+    let mut t = TextTable::new(vec![
+        "bench",
+        "target",
+        "f_mem(16) err (%)",
+        "f_mem(8) err (%)",
+    ]);
     for (abbr, target) in [("dct", 128u32), ("lu", 64), ("bp", 128)] {
         let bench = strong_benchmark(abbr, scale).expect("benchmark");
         let r = ablate_f_mem_source(&bench, scale, target).expect("ablation");
@@ -676,7 +873,7 @@ fn ablations(scale: MemScale) -> String {
     out
 }
 
-fn multicliff(scale: MemScale) -> String {
+fn multicliff(scale: MemScale, runner: &Runner) -> String {
     // A synthetic workload with two nested reused working sets: the inner
     // one fits from 32 SMs on, the outer only at 128 SMs — two cliffs,
     // the multi-level-cache scenario the paper leaves as future work
@@ -707,17 +904,25 @@ fn multicliff(scale: MemScale) -> String {
         .iter()
         .map(|&z| GpuConfig::paper_target(z, scale))
         .collect();
-    let stats: Vec<_> = configs
-        .iter()
-        .map(|cfg| Simulator::new(cfg.clone(), &wl).run())
+    // One job per system size; the reports come back size-ordered.
+    let sim_wl = wl.clone();
+    let stats: Vec<_> = runner
+        .map(
+            "multicliff",
+            configs
+                .iter()
+                .map(|c| (format!("{}sm", c.n_sms), c.clone()))
+                .collect(),
+            move |cfg: &GpuConfig| Simulator::new(cfg.clone(), &sim_wl).run(),
+        )
+        .into_iter()
+        .filter_map(|r| r.into_ok())
         .collect();
+    if stats.len() != sizes.len() {
+        return "multicliff: a simulation job failed; section skipped\n".into();
+    }
     let curve = collect_mrc(&wl, &configs);
-    let mrc = SizedMrc::new(
-        sizes
-            .iter()
-            .zip(curve.points())
-            .map(|(&z, p)| (z, p.mpki)),
-    );
+    let mrc = SizedMrc::new(sizes.iter().zip(curve.points()).map(|(&z, p)| (z, p.mpki)));
 
     let mut out = String::from(
         "Multi-cliff extension (paper Section V.D future work): a workload\n         with two nested working sets (6 MB and 23.4 MB) produces two\n         miss-rate-curve cliffs; the generalised predictor applies one\n         partial Eq. (3) boost per cliff.\n\n",
@@ -744,7 +949,12 @@ fn multicliff(scale: MemScale) -> String {
         multi.cliff_sizes()
     );
     let mut t = TextTable::new(vec![
-        "target", "real", "single-cliff", "err (%)", "multi-cliff", "err (%)",
+        "target",
+        "real",
+        "single-cliff",
+        "err (%)",
+        "multi-cliff",
+        "err (%)",
     ]);
     for (i, &z) in sizes.iter().enumerate().skip(2) {
         let real = stats[i].sustained_ipc();
@@ -763,27 +973,40 @@ fn multicliff(scale: MemScale) -> String {
     out
 }
 
-fn sampling(scale: MemScale) -> String {
+fn sampling(scale: MemScale, runner: &Runner) -> String {
     let mut out = String::from(
         "Kernel-sampling baseline (related work [8, 32]): simulate 1/8 of\n         each kernel's CTAs on the TARGET system and extrapolate. Unlike\n         scale-model simulation this requires a target-capable simulator,\n         and truncating the grid shrinks the working set, so capacity-\n         sensitive (pre-cliff) workloads are overpredicted.\n\n",
     );
     let mut t = TextTable::new(vec![
-        "bench", "target", "real IPC", "sampled est.", "error (%)",
-        "sampled sim (s)", "full sim (s)",
+        "bench",
+        "target",
+        "real IPC",
+        "sampled est.",
+        "error (%)",
+        "sampled sim (s)",
+        "full sim (s)",
     ]);
-    for (abbr, target) in [("dct", 64u32), ("lu", 32), ("pf", 64), ("gemm", 64)] {
+    let items: Vec<(String, (String, u32))> =
+        [("dct", 64u32), ("lu", 32), ("pf", 64), ("gemm", 64)]
+            .iter()
+            .map(|&(abbr, target)| (format!("{abbr}@{target}"), (abbr.to_string(), target)))
+            .collect();
+    let rows = runner.map("sampling", items, move |(abbr, target): &(String, u32)| {
         let bench = strong_benchmark(abbr, scale).expect("benchmark");
-        let cfg = GpuConfig::paper_target(target, scale);
+        let cfg = GpuConfig::paper_target(*target, scale);
         let c = compare_sampling(&bench.workload, &cfg, 0.125);
-        t.row(vec![
-            abbr.into(),
+        vec![
+            abbr.clone(),
             target.to_string(),
             ipc(c.real_ipc),
             ipc(c.estimate.ipc_estimate),
             pct(c.error_pct),
             format!("{:.2}", c.estimate.sim_seconds),
             format!("{:.2}", c.full_sim_seconds),
-        ]);
+        ]
+    });
+    for row in rows.into_iter().filter_map(|r| r.into_ok()) {
+        t.row(row);
     }
     let _ = writeln!(out, "{}", t.render());
     out

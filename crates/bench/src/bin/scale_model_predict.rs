@@ -21,9 +21,10 @@
 //! performance versus system size for all prediction methods.
 
 use gsim_core::{
-    detect_cliff, LinearRegression, LogRegression, ModelError, PowerLawRegression,
-    Proportional, ScaleModelInputs, ScaleModelPredictor, ScalingPredictor, SizedMrc,
+    detect_cliff, LinearRegression, LogRegression, ModelError, PowerLawRegression, Proportional,
+    ScaleModelInputs, ScaleModelPredictor, ScalingPredictor, SizedMrc,
 };
+use gsim_runner::{Job, Runner, RunnerConfig};
 
 struct Args {
     size: u32,
@@ -58,10 +59,7 @@ fn parse_args() -> Result<Args, String> {
                             <ipc_small> <ipc_large> <mpki...>"
                     .into());
             }
-            v => values.push(
-                v.parse::<f64>()
-                    .map_err(|_| format!("not a number: {v}"))?,
-            ),
+            v => values.push(v.parse::<f64>().map_err(|_| format!("not a number: {v}"))?),
         }
     }
     if values.len() < 3 {
@@ -103,60 +101,105 @@ fn main() {
         println!("    no miss-rate cliff: the whole range is pre-cliff");
     }
 
-    let mut inputs = ScaleModelInputs::new(s, args.ipc_small, l, args.ipc_large)
-        .with_sized_mrc(mrc.clone());
+    let mut inputs =
+        ScaleModelInputs::new(s, args.ipc_small, l, args.ipc_large).with_sized_mrc(mrc.clone());
     if let Some(f) = args.f_mem {
         inputs = inputs.with_f_mem(f);
     }
-    let scale_model = match ScaleModelPredictor::new(inputs) {
-        Ok(p) => p,
-        Err(ModelError::MissingFMem) => {
-            eprintln!(
+    // Validate up front so cliff-without---f-mem keeps its tailored hint.
+    if let Err(e) = ScaleModelPredictor::new(inputs.clone()) {
+        match e {
+            ModelError::MissingFMem => eprintln!(
                 "the curve contains a cliff: pass --f-mem <fraction>, the fraction \
                  of cycles the largest scale model could not fetch because all \
                  warps waited on memory"
-            );
-            std::process::exit(2);
-        }
-        Err(e) => {
-            eprintln!("invalid inputs: {e}");
-            std::process::exit(2);
-        }
-    };
-
-    let methods: Vec<(&str, Box<dyn ScalingPredictor>)> = vec![
-        ("scale-model", Box::new(scale_model)),
-        (
-            "proportional",
-            Box::new(Proportional::fit(s, args.ipc_small, l, args.ipc_large).expect("valid")),
-        ),
-        (
-            "linear",
-            Box::new(LinearRegression::fit(s, args.ipc_small, l, args.ipc_large).expect("valid")),
-        ),
-        (
-            "power-law",
-            Box::new(
-                PowerLawRegression::fit(s, args.ipc_small, l, args.ipc_large).expect("valid"),
             ),
-        ),
-        (
-            "logarithmic",
-            Box::new(LogRegression::fit(s, args.ipc_small, l, args.ipc_large).expect("valid")),
-        ),
-    ];
+            e => eprintln!("invalid inputs: {e}"),
+        }
+        std::process::exit(2);
+    }
 
+    // One fit-and-predict job per method; the pool returns them in
+    // submission order, so the report keeps the artifact's method order.
+    const METHOD_NAMES: [&str; 5] = [
+        "scale-model",
+        "proportional",
+        "linear",
+        "power-law",
+        "logarithmic",
+    ];
+    // (predictions at each target, values for the text graph)
+    type MethodCurves = (Vec<f64>, Vec<f64>);
     let targets: Vec<u32> = sizes.iter().copied().filter(|&z| z > l).collect();
+    let jobs: Vec<Job<Result<MethodCurves, ModelError>>> = METHOD_NAMES
+        .iter()
+        .map(|&name| {
+            let inputs = inputs.clone();
+            let (sizes, targets) = (sizes.clone(), targets.clone());
+            let (ipc_small, ipc_large) = (args.ipc_small, args.ipc_large);
+            Job::new(name, move || {
+                let model: Box<dyn ScalingPredictor> = match name {
+                    "scale-model" => Box::new(ScaleModelPredictor::new(inputs.clone())?),
+                    "proportional" => Box::new(Proportional::fit(s, ipc_small, l, ipc_large)?),
+                    "linear" => Box::new(LinearRegression::fit(s, ipc_small, l, ipc_large)?),
+                    "power-law" => Box::new(PowerLawRegression::fit(s, ipc_small, l, ipc_large)?),
+                    _ => Box::new(LogRegression::fit(s, ipc_small, l, ipc_large)?),
+                };
+                let target_preds = targets
+                    .iter()
+                    .map(|&t| model.predict(f64::from(t)))
+                    .collect();
+                // Values for the text graph: scale-model sizes show the
+                // measurements, targets the prediction.
+                let graph = sizes
+                    .iter()
+                    .map(|&z| {
+                        if z == s {
+                            ipc_small
+                        } else if z <= l {
+                            ipc_large
+                        } else {
+                            model.predict(f64::from(z))
+                        }
+                    })
+                    .collect();
+                Ok((target_preds, graph))
+            })
+        })
+        .collect();
+    let runner = Runner::new(RunnerConfig::default());
+    let mut methods: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    let mut failed = false;
+    for report in runner.run("predict", jobs) {
+        match report.status {
+            gsim_runner::JobStatus::Done(Ok((target_preds, graph))) => {
+                methods.push((report.name, target_preds, graph));
+            }
+            gsim_runner::JobStatus::Done(Err(e)) => {
+                eprintln!("{}: cannot fit: {e}", report.name);
+                failed = true;
+            }
+            _ => {
+                eprintln!(
+                    "{}: {}",
+                    report.name,
+                    report.failure().unwrap_or_else(|| "failed".into())
+                );
+                failed = true;
+            }
+        }
+    }
+
     println!("\n(2) predicted IPC per target system:");
     print!("    {:>13}", "size");
     for &t in &targets {
         print!("  {t:>10}");
     }
     println!();
-    for (name, model) in &methods {
+    for (name, target_preds, _) in &methods {
         print!("    {name:>13}");
-        for &t in &targets {
-            print!("  {:>10.2}", model.predict(f64::from(t)));
+        for p in target_preds {
+            print!("  {p:>10.2}");
         }
         println!();
     }
@@ -165,28 +208,22 @@ fn main() {
     println!("\n(3) performance vs system size (each row scaled to its maximum):");
     let max_ipc = methods
         .iter()
-        .map(|(_, m)| m.predict(f64::from(*sizes.last().expect("non-empty"))))
+        .flat_map(|(_, _, graph)| graph.iter().copied())
         .fold(args.ipc_large, f64::max);
-    for &z in &sizes {
+    for (i, &z) in sizes.iter().enumerate() {
         print!("    {z:>4} SMs ");
-        for (_, model) in &methods {
-            let v = if z <= l {
-                if z == s {
-                    args.ipc_small
-                } else {
-                    args.ipc_large
-                }
-            } else {
-                model.predict(f64::from(z))
-            };
-            let bars = ((v / max_ipc) * 20.0).round().max(0.0) as usize;
+        for (_, _, graph) in &methods {
+            let bars = ((graph[i] / max_ipc) * 20.0).round().max(0.0) as usize;
             print!(" |{:<20}", "#".repeat(bars.min(20)));
         }
         println!();
     }
     print!("             ");
-    for (name, _) in &methods {
+    for (name, _, _) in &methods {
         print!("  {name:<20}");
     }
     println!();
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -1,11 +1,13 @@
 //! Shared harness utilities for the table/figure repro binaries and the
-//! Criterion benches.
+//! micro-benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub mod tinybench;
 
 /// Where repro output files are written (`results/` under the workspace).
 pub fn results_dir() -> PathBuf {

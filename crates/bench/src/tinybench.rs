@@ -1,0 +1,165 @@
+//! A tiny dependency-free micro-benchmark harness.
+//!
+//! The bench targets (`cargo bench`) used to be Criterion benches; this
+//! module replaces them with an in-tree harness so the workspace builds
+//! with no external crates. It keeps the parts that matter for our use:
+//! warmup, batch-size calibration so fast functions are timed over
+//! batches rather than single calls, several samples with min/median/mean
+//! reporting, and optional element throughput.
+//!
+//! Filtering works like Criterion's: `cargo bench -- <substring>` runs
+//! only benchmarks whose `group/name` id contains the substring.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported optimizer barrier; wrap inputs/outputs you do not want
+/// folded away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How long a calibrated batch should roughly take.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+/// Upper bound on iterations per batch (guards degenerate calibration).
+const MAX_BATCH: u64 = 1 << 22;
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+    samples: usize,
+    throughput: Option<u64>,
+    filter: Option<String>,
+}
+
+impl Group {
+    /// Starts a group; the CLI filter (first non-flag argument after
+    /// `--`) is captured from the process arguments.
+    pub fn new(name: impl Into<String>) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            filter,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark (default 10).
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares that one iteration processes `elements` items; the report
+    /// then includes a throughput column.
+    #[must_use]
+    pub fn throughput(mut self, elements: u64) -> Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Times `f`, printing one summary line. Returns the median
+    /// per-iteration time for programmatic use.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Option<Duration> {
+        let id = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return None;
+            }
+        }
+
+        // Warmup + batch calibration: grow the batch until it takes long
+        // enough for the clock to resolve it well.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= TARGET_BATCH || batch >= MAX_BATCH {
+                break;
+            }
+            batch = if took.is_zero() {
+                batch * 64
+            } else {
+                let scale = TARGET_BATCH.as_secs_f64() / took.as_secs_f64();
+                ((batch as f64 * scale * 1.2) as u64).clamp(batch + 1, MAX_BATCH)
+            };
+        }
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX)
+            })
+            .collect();
+        per_iter.sort();
+
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / self.samples as u32;
+        let rate = self
+            .throughput
+            .map(|n| {
+                let eps = n as f64 / median.as_secs_f64();
+                format!("  {:>10.2} Melem/s", eps / 1e6)
+            })
+            .unwrap_or_default();
+        println!(
+            "{id:<44} min {:>12}  median {:>12}  mean {:>12}{rate}",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+        Some(median)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_sane_median() {
+        let g = Group::new("test").samples(3);
+        let median = g
+            .bench("spin", || {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+            .expect("no filter set in tests");
+        assert!(median < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_500)), "1.50 us");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.000 s");
+    }
+}

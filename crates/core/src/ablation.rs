@@ -120,12 +120,7 @@ pub fn ablate_scale_model_style(
     let sizes: Vec<u32> = std::iter::successors(Some(8u32), |&s| Some(s * 2))
         .take(ladder.len())
         .collect();
-    let mrc = SizedMrc::new(
-        sizes
-            .iter()
-            .zip(curve.points())
-            .map(|(&s, p)| (s, p.mpki)),
-    );
+    let mrc = SizedMrc::new(sizes.iter().zip(curve.points()).map(|(&s, p)| (s, p.mpki)));
     let predictor = ScaleModelPredictor::new(
         ScaleModelInputs::new(8, ipc8, 16, ipc16)
             .with_sized_mrc(mrc)
@@ -149,12 +144,7 @@ pub fn ablate_scale_model_style(
 pub fn cliff_threshold_sweep(mrc: &SizedMrc, thresholds: &[f64]) -> Vec<(f64, Option<u32>)> {
     thresholds
         .iter()
-        .map(|&t| {
-            (
-                t,
-                detect_cliff_with(mrc, t).map(|i| mrc.points()[i + 1].0),
-            )
-        })
+        .map(|&t| (t, detect_cliff_with(mrc, t).map(|i| mrc.points()[i + 1].0)))
         .collect()
 }
 
@@ -184,19 +174,17 @@ pub fn ablate_f_mem_source(
         .collect();
     let s8 = Simulator::new(ladder[0].clone(), &bench.workload).run();
     let s16 = Simulator::new(ladder[1].clone(), &bench.workload).run();
-    let real = Simulator::new(ladder.last().expect("ladder non-empty").clone(), &bench.workload)
-        .run()
-        .sustained_ipc();
+    let real = Simulator::new(
+        ladder.last().expect("ladder non-empty").clone(),
+        &bench.workload,
+    )
+    .run()
+    .sustained_ipc();
     let curve = collect_mrc(&bench.workload, &ladder);
     let sizes: Vec<u32> = std::iter::successors(Some(8u32), |&s| Some(s * 2))
         .take(ladder.len())
         .collect();
-    let mrc = SizedMrc::new(
-        sizes
-            .iter()
-            .zip(curve.points())
-            .map(|(&s, p)| (s, p.mpki)),
-    );
+    let mrc = SizedMrc::new(sizes.iter().zip(curve.points()).map(|(&s, p)| (s, p.mpki)));
     let predict_with = |f_mem: f64| -> Result<f64, ModelError> {
         ScaleModelPredictor::new(
             ScaleModelInputs::new(8, s8.sustained_ipc(), 16, s16.sustained_ipc())
@@ -230,9 +218,8 @@ mod tests {
         let prop =
             ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::Proportional)
                 .expect("runs");
-        let full =
-            ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::FullSizeLlc)
-                .expect("runs");
+        let full = ablate_scale_model_style(&bench, fast_scale(), 64, ScaleModelStyle::FullSizeLlc)
+            .expect("runs");
         assert!(
             full.error_pct > prop.error_pct + 20.0,
             "full-size LLC must hurt: proportional {:.1}% vs full {:.1}%",

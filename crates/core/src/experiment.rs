@@ -18,11 +18,11 @@ use gsim_trace::MemScale;
 use crate::classify::classify_scaling;
 use crate::cliff::SizedMrc;
 use crate::error::ModelError;
+use crate::percent_error;
 use crate::predictor::{
     LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
 };
 use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
-use crate::percent_error;
 
 /// One simulated system point.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,7 +150,10 @@ fn build_methods(
             "proportional",
             Box::new(Proportional::fit(s, ipc_s, l, ipc_l)?),
         ),
-        ("linear", Box::new(LinearRegression::fit(s, ipc_s, l, ipc_l)?)),
+        (
+            "linear",
+            Box::new(LinearRegression::fit(s, ipc_s, l, ipc_l)?),
+        ),
         (
             "power-law",
             Box::new(PowerLawRegression::fit(s, ipc_s, l, ipc_l)?),
@@ -235,7 +238,12 @@ impl StrongScalingExperiment {
         // scale models are the predictor inputs).
         let measured: Vec<MeasuredPoint> = configs
             .iter()
-            .map(|cfg| measure(&Simulator::new(cfg.clone(), &bench.workload).run(), cfg.n_sms))
+            .map(|cfg| {
+                measure(
+                    &Simulator::new(cfg.clone(), &bench.workload).run(),
+                    cfg.n_sms,
+                )
+            })
             .collect();
         // Functional miss-rate curve over the same capacities.
         let curve = collect_mrc(&bench.workload, &configs);
@@ -382,10 +390,7 @@ impl McmExperiment {
     /// # Errors
     ///
     /// Returns an error if a predictor cannot be built.
-    pub fn run_benchmark(
-        &self,
-        bench: &WeakBenchmark,
-    ) -> Result<Option<WeakOutcome>, ModelError> {
+    pub fn run_benchmark(&self, bench: &WeakBenchmark) -> Result<Option<WeakOutcome>, ModelError> {
         if bench.mcm_rows().is_none() {
             return Ok(None);
         }
@@ -404,10 +409,7 @@ impl McmExperiment {
         let target = self.chiplet_counts[2];
         let real = measured[2].ipc;
         let model_cost = measured[0].sim_seconds + measured[1].sim_seconds;
-        let speedups = vec![(
-            target,
-            measured[2].sim_seconds / model_cost.max(1e-9),
-        )];
+        let speedups = vec![(target, measured[2].sim_seconds / model_cost.max(1e-9))];
         let points: Vec<(u32, f64)> = measured.iter().map(|m| (m.size, m.ipc)).collect();
         Ok(Some(WeakOutcome {
             outcome: BenchmarkOutcome {

@@ -104,8 +104,7 @@ impl MultiCliffPredictor {
         if cliffs.iter().any(|&(hi, _)| hi > l) && inputs.f_mem().is_none() {
             return Err(ModelError::MissingFMem);
         }
-        let correction =
-            (inputs.large_ipc() / inputs.small_ipc()) / (f64::from(l) / f64::from(s));
+        let correction = (inputs.large_ipc() / inputs.small_ipc()) / (f64::from(l) / f64::from(s));
         Ok(Self {
             small_size: s,
             large_size: l,
@@ -250,8 +249,11 @@ mod tests {
 
     #[test]
     fn requires_f_mem_when_cliffs_lie_ahead() {
-        let inputs = ScaleModelInputs::new(8, 100.0, 16, 196.0)
-            .with_mrc(vec![(8, 8.0), (16, 8.0), (32, 0.5)]);
+        let inputs = ScaleModelInputs::new(8, 100.0, 16, 196.0).with_mrc(vec![
+            (8, 8.0),
+            (16, 8.0),
+            (32, 0.5),
+        ]);
         assert_eq!(
             MultiCliffPredictor::new(&inputs).unwrap_err(),
             ModelError::MissingFMem

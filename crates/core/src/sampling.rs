@@ -39,11 +39,7 @@ pub struct SamplingEstimate {
 /// # Panics
 ///
 /// Panics unless `0 < fraction <= 1`.
-pub fn estimate_by_sampling(
-    wl: &Workload,
-    cfg: &GpuConfig,
-    fraction: f64,
-) -> SamplingEstimate {
+pub fn estimate_by_sampling(wl: &Workload, cfg: &GpuConfig, fraction: f64) -> SamplingEstimate {
     let mut trace = Vec::new();
     gsim_trace::write_trace(wl, &mut trace).expect("in-memory trace");
     let traced = TracedWorkload::read(&trace[..]).expect("own trace is well-formed");

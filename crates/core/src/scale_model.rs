@@ -132,8 +132,7 @@ impl ScaleModelPredictor {
             }
         }
         // Eq. (1): C = (IPC_L / IPC_S) / (L / S).
-        let correction =
-            (inputs.large_ipc / inputs.small_ipc) / (f64::from(l) / f64::from(s));
+        let correction = (inputs.large_ipc / inputs.small_ipc) / (f64::from(l) / f64::from(s));
         let cliff_hi_size = match &inputs.mrc {
             Some(mrc) => detect_cliff(mrc).map(|i| mrc.points()[i + 1].0),
             None => None,
@@ -270,8 +269,7 @@ mod tests {
 
     #[test]
     fn weak_scaling_needs_no_mrc() {
-        let p =
-            ScaleModelPredictor::new(ScaleModelInputs::new(8, 100.0, 16, 196.0)).unwrap();
+        let p = ScaleModelPredictor::new(ScaleModelInputs::new(8, 100.0, 16, 196.0)).unwrap();
         let expected = 196.0 * 8.0 * 0.98f64.powi(7);
         assert!((p.predict(128.0) - expected).abs() < 1e-9);
     }
@@ -312,10 +310,9 @@ mod tests {
     #[test]
     fn cliff_beyond_models_requires_f_mem() {
         let mrc = vec![(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 0.4)];
-        let err = ScaleModelPredictor::new(
-            ScaleModelInputs::new(8, 100.0, 16, 190.0).with_mrc(mrc),
-        )
-        .unwrap_err();
+        let err =
+            ScaleModelPredictor::new(ScaleModelInputs::new(8, 100.0, 16, 190.0).with_mrc(mrc))
+                .unwrap_err();
         assert_eq!(err, ModelError::MissingFMem);
     }
 
@@ -338,8 +335,7 @@ mod tests {
     #[test]
     fn super_linear_models_carry_their_momentum() {
         // C > 1: the scale models already scale super-linearly.
-        let p =
-            ScaleModelPredictor::new(ScaleModelInputs::new(8, 100.0, 16, 220.0)).unwrap();
+        let p = ScaleModelPredictor::new(ScaleModelInputs::new(8, 100.0, 16, 220.0)).unwrap();
         assert!(p.correction_factor() > 1.0);
         assert!(p.predict(32.0) > 440.0);
     }
@@ -347,8 +343,6 @@ mod tests {
     #[test]
     fn rejects_bad_observations() {
         assert!(ScaleModelPredictor::new(ScaleModelInputs::new(16, 1.0, 8, 1.0)).is_err());
-        assert!(
-            ScaleModelPredictor::new(ScaleModelInputs::new(8, 0.0, 16, 1.0)).is_err()
-        );
+        assert!(ScaleModelPredictor::new(ScaleModelInputs::new(8, 0.0, 16, 1.0)).is_err());
     }
 }

@@ -226,7 +226,7 @@ mod tests {
     fn row_conflict_pays_precharge() {
         let mut d = model();
         d.read(0, 0, 128); // opens row 0 of bank 0
-        // Row 16 (line 256) maps to bank 16%16=0 again: conflict.
+                           // Row 16 (line 256) maps to bank 16%16=0 again: conflict.
         let conflict = d.read(1000, 256, 128) - 1000;
         assert_eq!(conflict, 20 + 20 + 1 + 20);
     }
@@ -250,14 +250,13 @@ mod tests {
 
     #[test]
     fn random_traffic_degrades_bandwidth() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use gsim_rng::Rng64;
         let mut d = model();
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let mut done = 0;
         let n = 1024u64;
         for _ in 0..n {
-            done = d.read(0, rng.gen_range(0..1_000_000), 128);
+            done = d.read(0, rng.gen_range(0, 1_000_000), 128);
         }
         let efficiency = n as f64 / done as f64;
         assert!(

@@ -436,7 +436,8 @@ mod tests {
 
     #[test]
     fn fifo_does_not_promote_on_hit() {
-        let mut c = Cache::with_policy(CacheGeometry::from_sets(1, 2, 128), ReplacementPolicy::Fifo);
+        let mut c =
+            Cache::with_policy(CacheGeometry::from_sets(1, 2, 128), ReplacementPolicy::Fifo);
         c.access(1, false);
         c.access(2, false);
         c.access(1, false); // hit, but 1 stays oldest under FIFO

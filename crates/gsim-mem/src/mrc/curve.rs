@@ -208,8 +208,7 @@ mod tests {
         let mut h = StackDistanceHistogram::new();
         h.add_cold(100.0);
         h.add(10, 900.0); // misses for caches smaller than 11 lines
-        let mrc =
-            MissRateCurve::from_histogram(&h, &[10 * 128, 11 * 128], 1_000_000, 128);
+        let mrc = MissRateCurve::from_histogram(&h, &[10 * 128, 11 * 128], 1_000_000, 128);
         assert_eq!(mrc.mpki_at(10 * 128), Some(1.0)); // 1000 misses / 1000 KI
         assert_eq!(mrc.mpki_at(11 * 128), Some(0.1)); // only cold misses
     }

@@ -50,10 +50,7 @@ impl StackDistanceHistogram {
 
     /// Largest distance with non-zero mass, if any reuse was recorded.
     pub fn max_distance(&self) -> Option<u64> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0.0)
-            .map(|d| d as u64)
+        self.counts.iter().rposition(|&c| c > 0.0).map(|d| d as u64)
     }
 
     /// Number of misses a fully-associative LRU cache of `capacity_lines`

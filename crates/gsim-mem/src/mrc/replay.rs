@@ -122,7 +122,10 @@ mod tests {
             r.access(l, false);
         }
         let mpki = r.mpki(1_000_000);
-        assert!((mpki[0] - 1.0).abs() < 1e-9, "1000 misses / 1000 kilo-instrs");
+        assert!(
+            (mpki[0] - 1.0).abs() < 1e-9,
+            "1000 misses / 1000 kilo-instrs"
+        );
         assert_eq!(r.mpki(0), vec![0.0]);
     }
 

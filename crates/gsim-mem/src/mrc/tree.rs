@@ -108,8 +108,7 @@ impl TreeStack {
     /// O(log n) per access because a compaction only happens after at least
     /// `capacity - unique` fresh accesses.
     fn compact(&mut self) {
-        let mut entries: Vec<(u64, usize)> =
-            self.last_slot.iter().map(|(&a, &s)| (a, s)).collect();
+        let mut entries: Vec<(u64, usize)> = self.last_slot.iter().map(|(&a, &s)| (a, s)).collect();
         entries.sort_unstable_by_key(|&(_, s)| s);
         // Grow so that at least half the axis is free after compaction.
         let needed = (entries.len() * 2).max(16);
@@ -155,8 +154,7 @@ impl DistanceEngine for TreeStack {
 mod tests {
     use super::super::naive::NaiveStack;
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use gsim_rng::Rng64;
 
     #[test]
     fn matches_naive_on_classic_sequence() {
@@ -170,8 +168,8 @@ mod tests {
 
     #[test]
     fn matches_naive_on_random_trace() {
-        let mut rng = StdRng::seed_from_u64(42);
-        let trace: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..500u64)).collect();
+        let mut rng = Rng64::seed_from_u64(42);
+        let trace: Vec<u64> = (0..5000).map(|_| rng.gen_range(0, 500)).collect();
         let mut t = TreeStack::with_capacity(64); // force many compactions
         let mut n = NaiveStack::new();
         t.record_all(trace.iter().copied());

@@ -52,7 +52,13 @@ impl SlicedLlc {
     ///
     /// Panics if `n_slices` is zero or a slice would be smaller than one line.
     pub fn new(total_bytes: u64, n_slices: u32, ways: u32, line_bytes: u32) -> Self {
-        Self::with_policy(total_bytes, n_slices, ways, line_bytes, ReplacementPolicy::Lru)
+        Self::with_policy(
+            total_bytes,
+            n_slices,
+            ways,
+            line_bytes,
+            ReplacementPolicy::Lru,
+        )
     }
 
     /// [`SlicedLlc::new`] with an explicit slice replacement policy.

@@ -131,7 +131,10 @@ mod tests {
             last = last.max(icn.traverse(0.0, src, 0, 128));
         }
         // 300 lines through one 1-line/cycle ingress ≈ 300 cycles.
-        assert!(last >= 299.0, "ingress of the home chiplet is the bottleneck");
+        assert!(
+            last >= 299.0,
+            "ingress of the home chiplet is the bottleneck"
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
         let a = m.traverse(0.0, 0, 1, 128);
         let b = m.traverse(0.0, 0, 3, 128);
         assert_eq!(a, 1.0);
-        assert!(b > 2.0, "second message queues on the shared first hop: {b}");
+        assert!(
+            b > 2.0,
+            "second message queues on the shared first hop: {b}"
+        );
     }
 
     #[test]

@@ -1,88 +1,121 @@
-//! Property-based tests on the network models: work conservation,
-//! monotonicity, and routing invariants.
+//! Randomized property tests on the network models: work conservation,
+//! monotonicity, and routing invariants. Cases come from the in-tree
+//! [`gsim_rng`] PRNG; the `ext-tests` feature multiplies the case count.
 
 use gsim_noc::{BandwidthLink, ChipletInterconnect, Crossbar, Mesh};
-use proptest::prelude::*;
+use gsim_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "ext-tests") {
+        default * 8
+    } else {
+        default
+    }
+}
 
-    /// A transfer never completes before its submission plus its own
-    /// serialisation time, and link state advances monotonically.
-    #[test]
-    fn link_completions_are_monotone_and_causal(
-        bw in 1.0f64..4096.0,
-        submissions in proptest::collection::vec((0.0f64..10_000.0, 1u32..4096), 1..50),
-    ) {
+fn f64_in(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// A transfer never completes before its submission plus its own
+/// serialisation time, and link state advances monotonically.
+#[test]
+fn link_completions_are_monotone_and_causal() {
+    let mut rng = Rng64::seed_from_u64(0x0c_0001);
+    for _ in 0..cases(64) {
+        let bw = f64_in(&mut rng, 1.0, 4096.0);
+        let n = rng.gen_range(1, 50);
+        let submissions: Vec<(f64, u32)> = (0..n)
+            .map(|_| {
+                (
+                    f64_in(&mut rng, 0.0, 10_000.0),
+                    rng.gen_range(1, 4096) as u32,
+                )
+            })
+            .collect();
         let mut link = BandwidthLink::new(bw);
         let mut last_done = 0.0f64;
         let mut total_bytes = 0u64;
         for &(now, bytes) in &submissions {
             let done = link.transfer(now, bytes);
-            prop_assert!(done >= now + f64::from(bytes) / bw - 1e-9);
-            prop_assert!(done >= last_done, "the channel serialises");
+            assert!(done >= now + f64::from(bytes) / bw - 1e-9);
+            assert!(done >= last_done, "the channel serialises");
             last_done = done;
             total_bytes += u64::from(bytes);
         }
-        prop_assert_eq!(link.stats().bytes, total_bytes);
-        prop_assert_eq!(link.stats().transfers, submissions.len() as u64);
+        assert_eq!(link.stats().bytes, total_bytes);
+        assert_eq!(link.stats().transfers, submissions.len() as u64);
     }
+}
 
-    /// Crossbar traversals cost at least the hop latency and respect the
-    /// bisection bandwidth in aggregate.
-    #[test]
-    fn crossbar_respects_bandwidth_ceiling(
-        bw in 32.0f64..1024.0,
-        n in 1u64..200,
-    ) {
+/// Crossbar traversals cost at least the hop latency and respect the
+/// bisection bandwidth in aggregate.
+#[test]
+fn crossbar_respects_bandwidth_ceiling() {
+    let mut rng = Rng64::seed_from_u64(0x0c_0002);
+    for _ in 0..cases(64) {
+        let bw = f64_in(&mut rng, 32.0, 1024.0);
+        let n = rng.gen_range(1, 200);
         let mut x = Crossbar::new(bw, 10);
         let mut last = 0.0f64;
         for _ in 0..n {
             last = x.traverse(0.0, 128);
         }
         // n transfers of 128 B cannot finish faster than n*128/bw.
-        prop_assert!(last >= (n as f64) * 128.0 / bw + 10.0 - 1e-6);
-        prop_assert!(x.utilization(last) <= 1.0);
+        assert!(last >= (n as f64) * 128.0 / bw + 10.0 - 1e-6);
+        assert!(x.utilization(last) <= 1.0);
     }
+}
 
-    /// Mesh hop counts are symmetric, satisfy the triangle inequality,
-    /// and bound the traversal latency from below.
-    #[test]
-    fn mesh_routing_invariants(
-        nodes in 2u32..64,
-        src in 0u32..64,
-        dst in 0u32..64,
-        via in 0u32..64,
-    ) {
+/// Mesh hop counts are symmetric, satisfy the triangle inequality, and
+/// bound the traversal latency from below.
+#[test]
+fn mesh_routing_invariants() {
+    let mut rng = Rng64::seed_from_u64(0x0c_0003);
+    for _ in 0..cases(64) {
+        let nodes = rng.gen_range(2, 64) as u32;
         let mut m = Mesh::new(nodes, 256.0, 2);
         let (c, r) = m.dims();
         let n = c * r;
-        let (src, dst, via) = (src % n, dst % n, via % n);
-        prop_assert_eq!(m.hops(src, dst), m.hops(dst, src));
-        prop_assert!(m.hops(src, dst) <= m.hops(src, via) + m.hops(via, dst));
+        let src = rng.gen_range(0, 64) as u32 % n;
+        let dst = rng.gen_range(0, 64) as u32 % n;
+        let via = rng.gen_range(0, 64) as u32 % n;
+        assert_eq!(m.hops(src, dst), m.hops(dst, src));
+        assert!(m.hops(src, dst) <= m.hops(src, via) + m.hops(via, dst));
         let t = m.traverse(0.0, src, dst, 128);
         let hops = f64::from(m.hops(src, dst));
-        prop_assert!(t >= hops * 2.0 - 1e-9, "at least hop latency each");
+        assert!(t >= hops * 2.0 - 1e-9, "at least hop latency each");
     }
+}
 
-    /// Chiplet transfers conserve bytes and local traffic is free.
-    #[test]
-    fn chiplet_byte_conservation(
-        n_chiplets in 1u32..8,
-        msgs in proptest::collection::vec((0u32..8, 0u32..8, 1u32..2048), 0..40),
-    ) {
+/// Chiplet transfers conserve bytes and local traffic is free.
+#[test]
+fn chiplet_byte_conservation() {
+    let mut rng = Rng64::seed_from_u64(0x0c_0004);
+    for _ in 0..cases(64) {
+        let n_chiplets = rng.gen_range(1, 8) as u32;
+        let n_msgs = rng.gen_range(0, 40);
+        let msgs: Vec<(u32, u32, u32)> = (0..n_msgs)
+            .map(|_| {
+                (
+                    rng.gen_range(0, 8) as u32,
+                    rng.gen_range(0, 8) as u32,
+                    rng.gen_range(1, 2048) as u32,
+                )
+            })
+            .collect();
         let mut icn = ChipletInterconnect::new(n_chiplets, 128.0, 30);
         let mut remote_bytes = 0u64;
         for &(s, d, b) in &msgs {
             let (s, d) = (s % n_chiplets, d % n_chiplets);
             let t = icn.traverse(0.0, s, d, b);
             if s == d {
-                prop_assert_eq!(t, 0.0);
+                assert_eq!(t, 0.0);
             } else {
                 remote_bytes += u64::from(b);
-                prop_assert!(t >= 30.0);
+                assert!(t >= 30.0);
             }
         }
-        prop_assert_eq!(icn.total_bytes(), remote_bytes);
+        assert_eq!(icn.total_bytes(), remote_bytes);
     }
 }

@@ -14,9 +14,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
+use gsim_mem::DramModel;
 use gsim_mem::{BankedDramModel, Cache, CacheGeometry, DramTiming, Mshr, MshrOutcome, SlicedLlc};
 use gsim_noc::{ChipletInterconnect, Crossbar};
-use gsim_mem::DramModel;
 use gsim_trace::{MemAccess, MemSpace, Op, WarpStream, Workload, WorkloadModel};
 
 use crate::chiplet::ChipletConfig;
@@ -338,7 +338,8 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
             self.stats.llc_misses += 1;
             if let Some(victim) = result.evicted() {
                 if victim.dirty {
-                    dom.dram.write_back(tag_done as u64, victim.line_addr, line_bytes);
+                    dom.dram
+                        .write_back(tag_done as u64, victim.line_addr, line_bytes);
                     self.stats.dram_bytes += u64::from(line_bytes);
                 }
             }
@@ -489,7 +490,9 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
     /// if its CTA (and possibly the kernel) completed.
     fn retire_warp(&mut self, sm_idx: usize, warp: u32, now: u64) -> bool {
         let sm = &mut self.sms[sm_idx];
-        let ctx = sm.warps[warp as usize].take().expect("retiring a live warp");
+        let ctx = sm.warps[warp as usize]
+            .take()
+            .expect("retiring a live warp");
         sm.free_slots.push(warp);
         sm.live_warps -= 1;
         if sm.last_issued == Some(warp) {
@@ -610,8 +613,7 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
             }
             if self.stats.cycle_at_90pct == 0 && self.stats.warp_instrs >= self.milestone_90 {
                 self.stats.cycle_at_90pct = now + 1;
-                self.stats.warp_instrs_window =
-                    self.stats.warp_instrs - self.milestone_10;
+                self.stats.warp_instrs_window = self.stats.warp_instrs - self.milestone_10;
             }
             if self.kernel_idx >= self.wl.n_kernels() {
                 now += 1;
@@ -825,8 +827,8 @@ mod tests {
     #[test]
     fn mcm_simulation_runs_and_scales_with_chiplets() {
         use crate::chiplet::ChipletConfig;
-        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 60_000)
-            .compute_per_mem(2.0);
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 60_000).compute_per_mem(2.0);
         let kernel = Kernel::new("k", 1536, 256, spec);
         let wl2 = Workload::new("m2", 11, vec![kernel.clone()]);
         let mcm2 = ChipletConfig::paper_mcm(2, MemScale::default());
@@ -863,8 +865,8 @@ mod tests {
         // links must cost something relative to a monolithic chip with
         // the same SM count and aggregate resources.
         use crate::chiplet::ChipletConfig;
-        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 120_000)
-            .compute_per_mem(1.0);
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 120_000).compute_per_mem(1.0);
         let kernel = Kernel::new("k", 1536, 256, spec);
         let wl = Workload::new("mono-vs-mcm", 13, vec![kernel.clone(), kernel]);
         let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
@@ -889,9 +891,7 @@ mod tests {
 
     #[test]
     fn kernels_execute_sequentially() {
-        let spec = || {
-            PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0)
-        };
+        let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
         let wl = Workload::new(
             "seq",
             3,

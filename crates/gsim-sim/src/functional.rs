@@ -52,13 +52,10 @@ impl FunctionalReplay {
             let mut resident: Vec<Vec<(u32, SpecStream)>> =
                 (0..self.n_sms).map(|_| Vec::new()).collect();
             let mut cta_live: Vec<u32> = vec![0; kernel.n_ctas() as usize];
-            let mut l1s: Vec<Cache> = (0..self.n_sms)
-                .map(|_| Cache::new(self.l1_geom))
-                .collect();
+            let mut l1s: Vec<Cache> = (0..self.n_sms).map(|_| Cache::new(self.l1_geom)).collect();
             // Initial fill.
             for slot in resident.iter_mut() {
-                while slot.len() < (max_ctas * warps_per_cta) as usize
-                    && next_cta < kernel.n_ctas()
+                while slot.len() < (max_ctas * warps_per_cta) as usize && next_cta < kernel.n_ctas()
                 {
                     let cta = next_cta;
                     next_cta += 1;
@@ -90,18 +87,15 @@ impl FunctionalReplay {
                                 cta_live[cta as usize] -= 1;
                                 if cta_live[cta as usize] == 0 {
                                     // Slot freed: pull the next CTA.
-                                    while resident[sm].len()
-                                        < (max_ctas * warps_per_cta) as usize
+                                    while resident[sm].len() < (max_ctas * warps_per_cta) as usize
                                         && next_cta < kernel.n_ctas()
                                     {
                                         let c = next_cta;
                                         next_cta += 1;
                                         cta_live[c as usize] = warps_per_cta;
                                         for w in 0..warps_per_cta {
-                                            resident[sm].push((
-                                                c,
-                                                kernel.warp_stream(wl, kidx, c, w),
-                                            ));
+                                            resident[sm]
+                                                .push((c, kernel.warp_stream(wl, kidx, c, w)));
                                         }
                                         live = true;
                                     }
@@ -213,8 +207,8 @@ mod tests {
         // A 6000-line working set re-swept across kernel launches:
         // thrashes the 8/16-SM LLCs (2176/4352 lines), fits from the
         // 32-SM LLC (8704 lines) up.
-        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 6_000)
-            .compute_per_mem(1.0);
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 6_000).compute_per_mem(1.0);
         let kernel = Kernel::new("k", 192, 256, spec);
         let wl = Workload::new("cliff", 2, vec![kernel; 6]);
         let mrc = collect_mrc(&wl, &configs());
@@ -231,8 +225,8 @@ mod tests {
 
     #[test]
     fn flat_curve_for_oversized_footprint() {
-        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 400_000)
-            .compute_per_mem(1.0);
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 400_000).compute_per_mem(1.0);
         let kernel = Kernel::new("k", 768, 256, spec);
         let wl = Workload::new("flat", 3, vec![kernel; 2]);
         let mrc = collect_mrc(&wl, &configs());

@@ -75,9 +75,14 @@ impl Kernel {
 
     /// Stream context for warp `warp` of CTA `cta` in kernel `kernel_idx`
     /// of `workload`.
-    pub fn stream_ctx(&self, workload: &Workload, kernel_idx: usize, cta: u32, warp: u32) -> StreamCtx {
-        let global_warp =
-            u64::from(cta) * u64::from(self.warps_per_cta()) + u64::from(warp);
+    pub fn stream_ctx(
+        &self,
+        workload: &Workload,
+        kernel_idx: usize,
+        cta: u32,
+        warp: u32,
+    ) -> StreamCtx {
+        let global_warp = u64::from(cta) * u64::from(self.warps_per_cta()) + u64::from(warp);
         StreamCtx {
             global_warp,
             total_warps: self.total_warps(),
@@ -97,13 +102,20 @@ impl Kernel {
         cta: u32,
         warp: u32,
     ) -> SpecStream {
-        assert!(cta < self.n_ctas, "CTA {cta} outside grid of {}", self.n_ctas);
+        assert!(
+            cta < self.n_ctas,
+            "CTA {cta} outside grid of {}",
+            self.n_ctas
+        );
         assert!(
             warp < self.warps_per_cta(),
             "warp {warp} outside CTA of {} warps",
             self.warps_per_cta()
         );
-        SpecStream::new(self.spec.clone(), self.stream_ctx(workload, kernel_idx, cta, warp))
+        SpecStream::new(
+            self.spec.clone(),
+            self.stream_ctx(workload, kernel_idx, cta, warp),
+        )
     }
 
     /// Approximate warp instructions the whole kernel executes.
@@ -225,8 +237,8 @@ mod tests {
     use crate::pattern::{PatternKind, WarpStream};
 
     fn demo() -> Workload {
-        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 2 }, 1024)
-            .compute_per_mem(1.0);
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 2 }, 1024).compute_per_mem(1.0);
         Workload::new("demo", 7, vec![Kernel::new("k0", 8, 256, spec)])
             .with_footprint_mb(33.0)
             .with_paper_minsns(10_270.0)

@@ -55,10 +55,10 @@ pub mod weak;
 
 pub use kernel::{Kernel, Workload};
 pub use model::WorkloadModel;
-pub use tracefile::{write_trace, TraceStream, TracedWorkload};
 pub use op::{MemAccess, MemSpace, Op};
 pub use pattern::{PatternKind, PatternSpec, SharedHotSpec, SpecStream, StreamCtx, WarpStream};
 pub use scale::MemScale;
+pub use tracefile::{write_trace, TraceStream, TracedWorkload};
 
 /// Threads per warp, fixed at 32 throughout the paper (Table III).
 pub const THREADS_PER_WARP: u32 = 32;

@@ -1,7 +1,6 @@
 //! Access-pattern families and the deterministic warp-stream generator.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gsim_rng::Rng64;
 
 use crate::op::{MemAccess, MemSpace, Op};
 
@@ -188,10 +187,7 @@ impl PatternSpec {
 
     /// Memory ops a warp with context `ctx` will execute.
     pub fn mem_ops_for(&self, ctx: &StreamCtx) -> u64 {
-        let lines_per_warp = self
-            .footprint_lines
-            .div_ceil(ctx.total_warps.max(1))
-            .max(1);
+        let lines_per_warp = self.footprint_lines.div_ceil(ctx.total_warps.max(1)).max(1);
         match &self.kind {
             PatternKind::GlobalSweep { passes } => lines_per_warp * u64::from(*passes),
             PatternKind::Streaming => lines_per_warp,
@@ -229,7 +225,7 @@ enum Phase {
 pub struct SpecStream {
     spec: PatternSpec,
     ctx: StreamCtx,
-    rng: SmallRng,
+    rng: Rng64,
     mem_ops_total: u64,
     mem_op_idx: u64,
     lines_per_warp: u64,
@@ -255,10 +251,7 @@ impl SpecStream {
     /// Creates the stream for one warp.
     pub fn new(spec: PatternSpec, ctx: StreamCtx) -> Self {
         let mem_ops_total = spec.mem_ops_for(&ctx);
-        let lines_per_warp = spec
-            .footprint_lines
-            .div_ceil(ctx.total_warps.max(1))
-            .max(1);
+        let lines_per_warp = spec.footprint_lines.div_ceil(ctx.total_warps.max(1)).max(1);
         let mix_cdf = if let PatternKind::WorkingSetMix { levels } = &spec.kind {
             let total: f64 = levels.iter().map(|(w, _)| w).sum();
             let mut acc = 0.0;
@@ -275,7 +268,7 @@ impl SpecStream {
         };
         let tail_left = spec.tail_compute;
         Self {
-            rng: SmallRng::seed_from_u64(ctx.seed),
+            rng: Rng64::seed_from_u64(ctx.seed),
             spec,
             ctx,
             mem_ops_total,
@@ -300,14 +293,14 @@ impl SpecStream {
             }
             PatternKind::Streaming => g + i * total,
             PatternKind::WorkingSetMix { .. } => {
-                let u: f64 = self.rng.gen();
+                let u = self.rng.next_f64();
                 let lines = self
                     .mix_cdf
                     .iter()
                     .find(|&&(cdf, _)| u <= cdf)
                     .map(|&(_, l)| l)
                     .unwrap_or(fp);
-                self.rng.gen_range(0..lines)
+                self.rng.gen_range(0, lines)
             }
             PatternKind::Tiled { tile_lines, reuses } => {
                 let tile_span = tile_lines * u64::from(*reuses).max(1);
@@ -316,7 +309,7 @@ impl SpecStream {
                 let region_start = (g * self.lines_per_warp) % fp;
                 (region_start + (tile * tile_lines + within) % self.lines_per_warp) % fp
             }
-            PatternKind::PointerChase => self.rng.gen_range(0..fp),
+            PatternKind::PointerChase => self.rng.gen_range(0, fp),
         }
     }
 
@@ -330,7 +323,7 @@ impl SpecStream {
                 // smooth sub-linear camping decay of real shared data
                 // (tree roots, frontier counters) instead of a sharp
                 // saturation threshold.
-                let u: f64 = self.rng.gen();
+                let u = self.rng.next_f64();
                 let rank = (hot.hot_lines as f64).powf(u) as u64;
                 let line = HOT_REGION_BASE + (rank - 1).min(hot.hot_lines - 1);
                 return Op::Atomic(MemAccess {
@@ -344,13 +337,15 @@ impl SpecStream {
         let line = self.base_line();
         let txns = if self.spec.divergence > 1 {
             // Divergence varies per op between half and full configured width.
-            self.rng
-                .gen_range((self.spec.divergence / 2).max(1)..=self.spec.divergence)
+            self.rng.gen_range_inclusive(
+                u64::from((self.spec.divergence / 2).max(1)),
+                u64::from(self.spec.divergence),
+            ) as u8
         } else {
             1
         };
         let stride = if txns > 1 {
-            self.rng.gen_range(1..=97)
+            self.rng.gen_range_inclusive(1, 97) as u32
         } else {
             0
         };
@@ -525,7 +520,10 @@ mod tests {
         .mem_ops_per_warp(24)
         .compute_per_mem(0.0);
         let ops = drain(&spec, ctx(0, 1));
-        let lines: Vec<u64> = ops.iter().filter_map(|o| o.mem().map(|m| m.line_addr)).collect();
+        let lines: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| o.mem().map(|m| m.line_addr))
+            .collect();
         // First 12 ops walk tile 0 three times.
         assert_eq!(&lines[0..4], &lines[4..8]);
         assert_eq!(&lines[0..4], &lines[8..12]);

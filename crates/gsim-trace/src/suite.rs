@@ -186,8 +186,8 @@ fn fwt(scale: MemScale) -> StrongBenchmark {
             ks.extend(repeat(k("walsh", 768, hot), 10));
             ks
         })
-            .with_footprint_mb(67.1)
-            .with_paper_minsns(4_163.0),
+        .with_footprint_mb(67.1)
+        .with_paper_minsns(4_163.0),
     }
 }
 
@@ -222,8 +222,8 @@ fn va(scale: MemScale) -> StrongBenchmark {
             ks.extend(repeat(k("vadd", 768, hot), 10));
             ks
         })
-            .with_footprint_mb(50.3)
-            .with_paper_minsns(92.0),
+        .with_footprint_mb(50.3)
+        .with_paper_minsns(92.0),
     }
 }
 
@@ -241,8 +241,8 @@ fn r#as(scale: MemScale) -> StrongBenchmark {
             ks.extend(repeat(k("async", 768, hot), 10));
             ks
         })
-            .with_footprint_mb(67.1)
-            .with_paper_minsns(218.0),
+        .with_footprint_mb(67.1)
+        .with_paper_minsns(218.0),
     }
 }
 
@@ -279,8 +279,8 @@ fn st(scale: MemScale) -> StrongBenchmark {
             ks.extend(repeat(k("stencil", 768, hot), 10));
             ks
         })
-            .with_footprint_mb(131.9)
-            .with_paper_minsns(557.0),
+        .with_footprint_mb(131.9)
+        .with_paper_minsns(557.0),
     }
 }
 
@@ -384,9 +384,13 @@ fn sr(scale: MemScale) -> StrongBenchmark {
         origin: "Rodinia",
         cta_sizes_paper: "4,096",
         expected: ScalingClass::SubLinear,
-        workload: Workload::new("sr", 110, vec![big(), reduce(), reduce(), big(), reduce(), reduce()])
-            .with_footprint_mb(25.2)
-            .with_paper_minsns(661.0),
+        workload: Workload::new(
+            "sr",
+            110,
+            vec![big(), reduce(), reduce(), big(), reduce(), reduce()],
+        )
+        .with_footprint_mb(25.2)
+        .with_paper_minsns(661.0),
     }
 }
 
@@ -440,15 +444,11 @@ fn btree(scale: MemScale) -> StrongBenchmark {
         k(
             name,
             ctas,
-            mix(
-                scale,
-                17.4,
-                vec![(0.35, 0.004), (0.15, 0.08), (0.5, 16.0)],
-            )
-            .mem_ops_per_warp(24)
-            .compute_per_mem(3.0)
-            .divergence(1)
-            .shared_hot(0.02, 24),
+            mix(scale, 17.4, vec![(0.35, 0.004), (0.15, 0.08), (0.5, 16.0)])
+                .mem_ops_per_warp(24)
+                .compute_per_mem(3.0)
+                .divergence(1)
+                .shared_hot(0.02, 24),
         )
     };
     StrongBenchmark {
@@ -472,8 +472,8 @@ fn btree(scale: MemScale) -> StrongBenchmark {
                 lookup("teardown", 8),
             ],
         )
-            .with_footprint_mb(17.4)
-            .with_paper_minsns(670.0),
+        .with_footprint_mb(17.4)
+        .with_paper_minsns(670.0),
     }
 }
 
@@ -650,8 +650,8 @@ mod tests {
         assert_eq!(suite.len(), 21);
         let abbrs: Vec<&str> = suite.iter().map(|b| b.abbr).collect();
         for a in [
-            "dct", "fwt", "bp", "va", "as", "lu", "st", "bfs", "unet", "sr", "gr", "btree",
-            "pf", "res50", "res34", "ht", "at", "gemm", "2mm", "lbm", "bs",
+            "dct", "fwt", "bp", "va", "as", "lu", "st", "bfs", "unet", "sr", "gr", "btree", "pf",
+            "res50", "res34", "ht", "at", "gemm", "2mm", "lbm", "bs",
         ] {
             assert!(abbrs.contains(&a), "missing {a}");
         }

@@ -34,8 +34,6 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::kernel::Workload;
 use crate::model::WorkloadModel;
 use crate::op::{MemAccess, MemSpace, Op};
@@ -44,31 +42,69 @@ use crate::pattern::WarpStream;
 const MAGIC: &[u8; 4] = b"GSTR";
 const VERSION: u8 = 1;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// A read cursor over a decoded trace buffer (the std-only stand-in for
+/// the `bytes` crate this module once used).
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> io::Result<u8> {
+        let b = self
+            .buf
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated slice",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> io::Result<u64> {
+fn get_varint(buf: &mut ByteReader<'_>) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "truncated varint",
-            ));
-        }
-        let byte = buf.get_u8();
+        let byte = buf
+            .get_u8()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated varint"))?;
         if shift >= 64 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -86,31 +122,27 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+fn put_string(buf: &mut Vec<u8>, s: &str) {
     put_varint(buf, s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> io::Result<String> {
+fn get_string(buf: &mut ByteReader<'_>) -> io::Result<String> {
     let len = get_varint(buf)? as usize;
-    if buf.remaining() < len {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "truncated string",
-        ));
-    }
-    let bytes = buf.copy_to_bytes(len);
+    let bytes = buf
+        .take(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated string"))?;
     String::from_utf8(bytes.to_vec())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid UTF-8"))
 }
 
-fn encode_ops(buf: &mut BytesMut, ops: &[Op]) {
+fn encode_ops(buf: &mut Vec<u8>, ops: &[Op]) {
     put_varint(buf, ops.len() as u64);
     let mut last_addr: i64 = 0;
     for op in ops {
         match op {
             Op::Compute { n } => {
-                buf.put_u8(0);
+                buf.push(0);
                 put_varint(buf, u64::from(*n));
             }
             Op::Load(m) | Op::Store(m) | Op::Atomic(m) => {
@@ -120,8 +152,8 @@ fn encode_ops(buf: &mut BytesMut, ops: &[Op]) {
                     _ => 3,
                 };
                 let bypass = if m.space == MemSpace::BypassL1 { 4 } else { 0 };
-                buf.put_u8(kind | bypass);
-                buf.put_u8(m.txns);
+                buf.push(kind | bypass);
+                buf.push(m.txns);
                 put_varint(buf, u64::from(m.txn_stride_lines));
                 put_varint(buf, zigzag(m.line_addr as i64 - last_addr));
                 last_addr = m.line_addr as i64;
@@ -130,15 +162,14 @@ fn encode_ops(buf: &mut BytesMut, ops: &[Op]) {
     }
 }
 
-fn decode_ops(buf: &mut Bytes) -> io::Result<Vec<Op>> {
+fn decode_ops(buf: &mut ByteReader<'_>) -> io::Result<Vec<Op>> {
     let n = get_varint(buf)? as usize;
-    let mut ops = Vec::with_capacity(n);
+    let mut ops = Vec::with_capacity(n.min(1 << 20));
     let mut last_addr: i64 = 0;
     for _ in 0..n {
-        if !buf.has_remaining() {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated op"));
-        }
-        let tag = buf.get_u8();
+        let tag = buf
+            .get_u8()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated op"))?;
         match tag & 0x03 {
             0 => {
                 let n = get_varint(buf)?;
@@ -147,10 +178,9 @@ fn decode_ops(buf: &mut Bytes) -> io::Result<Vec<Op>> {
                 ops.push(Op::Compute { n });
             }
             kind => {
-                if !buf.has_remaining() {
-                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated op"));
-                }
-                let txns = buf.get_u8();
+                let txns = buf
+                    .get_u8()
+                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated op"))?;
                 let stride = get_varint(buf)? as u32;
                 let delta = unzigzag(get_varint(buf)?);
                 let addr = last_addr + delta;
@@ -190,9 +220,9 @@ fn decode_ops(buf: &mut Bytes) -> io::Result<Vec<Op>> {
 /// passed (generic writers are taken by value per the standard-library
 /// convention; pass `&mut w` to keep ownership).
 pub fn write_trace<W: Write>(wl: &Workload, mut out: W) -> io::Result<u64> {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
     put_string(&mut buf, WorkloadModel::name(wl));
     put_varint(&mut buf, wl.kernels().len() as u64);
     for (kidx, kernel) in wl.kernels().iter().enumerate() {
@@ -242,11 +272,14 @@ impl TracedWorkload {
     pub fn read<R: Read>(mut input: R) -> io::Result<Self> {
         let mut raw = Vec::new();
         input.read_to_end(&mut raw)?;
-        let mut buf = Bytes::from(raw);
-        if buf.remaining() < 5 || &buf.copy_to_bytes(4)[..] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a GSTR trace"));
+        let mut buf = ByteReader::new(&raw);
+        if buf.remaining() < 5 || buf.take(4)? != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a GSTR trace",
+            ));
         }
-        let version = buf.get_u8();
+        let version = buf.get_u8()?;
         if version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -318,12 +351,10 @@ impl TracedWorkload {
             .kernels
             .iter()
             .map(|k| {
-                let keep = ((f64::from(k.n_ctas) * fraction).ceil() as u32)
-                    .clamp(1, k.n_ctas);
+                let keep = ((f64::from(k.n_ctas) * fraction).ceil() as u32).clamp(1, k.n_ctas);
                 factors.push(f64::from(k.n_ctas) / f64::from(keep));
                 let wpc = k.threads_per_cta.div_ceil(32) as usize;
-                let warps: Vec<Vec<Op>> =
-                    k.warps[..keep as usize * wpc].to_vec();
+                let warps: Vec<Vec<Op>> = k.warps[..keep as usize * wpc].to_vec();
                 total += warps
                     .iter()
                     .flat_map(|ops| ops.iter().map(Op::warp_instrs))
@@ -378,7 +409,10 @@ impl WorkloadModel for TracedWorkload {
     fn warp_stream(&self, kernel: usize, cta: u32, warp: u32) -> TraceStream {
         let k = &self.kernels[kernel];
         let wpc = k.threads_per_cta.div_ceil(32);
-        assert!(cta < k.n_ctas && warp < wpc, "warp coordinates out of range");
+        assert!(
+            cta < k.n_ctas && warp < wpc,
+            "warp coordinates out of range"
+        );
         let idx = (cta * wpc + warp) as usize;
         TraceStream {
             ops: k.warps[idx].clone().into_iter(),
@@ -449,14 +483,17 @@ mod tests {
 
     #[test]
     fn sequential_traces_compress_well() {
-        let sweep = PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 4096)
-            .compute_per_mem(1.0);
+        let sweep =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 4096).compute_per_mem(1.0);
         let wl = Workload::new("seq", 1, vec![Kernel::new("k", 16, 256, sweep)]);
         let mut bytes = Vec::new();
         write_trace(&wl, &mut bytes).expect("write");
         let ops = wl.approx_warp_instrs();
         let per_op = bytes.len() as f64 / ops as f64;
-        assert!(per_op < 5.0, "expected compact encoding, got {per_op:.1} B/op");
+        assert!(
+            per_op < 5.0,
+            "expected compact encoding, got {per_op:.1} B/op"
+        );
     }
 
     #[test]
@@ -495,9 +532,9 @@ mod tests {
     #[test]
     fn varint_and_zigzag_roundtrip() {
         for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), 1 << 50] {
-            let mut b = BytesMut::new();
+            let mut b = Vec::new();
             put_varint(&mut b, v);
-            let mut r = Bytes::from(b.to_vec());
+            let mut r = ByteReader::new(&b);
             assert_eq!(get_varint(&mut r).unwrap(), v);
         }
         for v in [0i64, 1, -1, 63, -64, 1 << 40, -(1 << 40)] {

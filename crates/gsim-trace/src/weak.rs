@@ -130,7 +130,8 @@ impl WeakBenchmark {
             fp.div_ceil(warps) * warps
         };
         let seed = 500 + self.kind as u64;
-        let k = |name: &str, ctas: u32, spec: PatternSpec| Kernel::new(name, ctas, CTA_THREADS, spec);
+        let k =
+            |name: &str, ctas: u32, spec: PatternSpec| Kernel::new(name, ctas, CTA_THREADS, spec);
         let wl = match self.kind {
             WeakKind::Bfs => {
                 // Frontier pyramid: the big levels scale with the input,
@@ -183,7 +184,11 @@ impl WeakBenchmark {
                         .write_frac(0.2)
                         .shared_hot(0.03, 16);
                 let kernel = k("blackscholes", ctas, spec);
-                Workload::new("bs-weak", seed, vec![kernel.clone(), kernel.clone(), kernel])
+                Workload::new(
+                    "bs-weak",
+                    seed,
+                    vec![kernel.clone(), kernel.clone(), kernel],
+                )
             }
             WeakKind::Btree => {
                 // The tree grows with the input, so the top levels (the hot
@@ -200,7 +205,11 @@ impl WeakBenchmark {
                             .shared_hot(0.05, hot_lines),
                     )
                 };
-                Workload::new("btree-weak", seed, vec![lookup("findK", 72), lookup("findRangeK", 120)])
+                Workload::new(
+                    "btree-weak",
+                    seed,
+                    vec![lookup("findK", 72), lookup("findRangeK", 120)],
+                )
             }
             WeakKind::As => {
                 let ctas = grid(256);

@@ -1,20 +1,29 @@
 //! Multi-chiplet GPUs: predict 16-chiplet performance from 4- and
-//! 8-chiplet scale models (the paper's Section VII.D case study).
+//! 8-chiplet scale models (the paper's Section VII.D case study), run
+//! in parallel on the gsim-runner worker pool — one job per benchmark.
 //!
 //! ```sh
-//! cargo run --release --example chiplet_scaling [benchmark]
+//! cargo run --release --example chiplet_scaling [benchmark...]
 //! ```
 
 use gpu_scale_model::core::experiment::McmExperiment;
+use gpu_scale_model::runner::{ProgressReporter, Runner, RunnerConfig};
 use gpu_scale_model::sim::ChipletConfig;
 use gpu_scale_model::trace::weak::weak_benchmark;
 use gpu_scale_model::trace::MemScale;
 
 fn main() {
-    let abbr = std::env::args().nth(1).unwrap_or_else(|| "va".to_string());
+    let mut abbrs: Vec<String> = std::env::args().skip(1).collect();
+    if abbrs.is_empty() {
+        abbrs.push("va".to_string());
+    }
     let scale = MemScale::default();
-    let bench = weak_benchmark(&abbr, scale)
-        .unwrap_or_else(|| panic!("unknown weak benchmark {abbr}"));
+    let suite: Vec<_> = abbrs
+        .iter()
+        .map(|abbr| {
+            weak_benchmark(abbr, scale).unwrap_or_else(|| panic!("unknown weak benchmark {abbr}"))
+        })
+        .collect();
 
     let mcm16 = ChipletConfig::paper_mcm(16, scale);
     println!(
@@ -28,33 +37,51 @@ fn main() {
         mcm16.interchiplet_gbs_per_chiplet,
     );
 
-    let out = McmExperiment::new(scale)
-        .run_benchmark(&bench)
-        .expect("pipeline runs")
-        .unwrap_or_else(|| panic!("{abbr} is excluded from the MCM study"));
-
-    println!("\nmeasured:");
-    for m in &out.outcome.measured {
-        println!(
-            "  {:>2} chiplets ({:>4} SMs): IPC {:8.1}  f_mem {:.2}  [{:.2} s sim]",
-            m.size,
-            m.size * 64,
-            m.ipc,
-            m.f_mem,
-            m.sim_seconds
-        );
+    // One MCM pipeline job per benchmark; excluded benchmarks simply
+    // produce no outcome.
+    let runner = Runner::new(RunnerConfig::default()).with_sink(ProgressReporter::new());
+    let run = McmExperiment::new(scale).run_suite_on(&suite, "mcm-example", &runner);
+    for failure in &run.failures {
+        eprintln!("failed: {failure}");
+    }
+    if run.outcomes.is_empty() {
+        println!("\nall requested benchmarks are excluded from the MCM study");
     }
 
-    println!("\n16-chiplet predictions from the 4/8-chiplet scale models:");
-    for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
-        if let Some(p) = out.outcome.method(method).and_then(|mo| mo.at(16)) {
+    for out in &run.outcomes {
+        println!("\n=== {} ===", out.outcome.abbr);
+        println!("measured:");
+        for m in &out.outcome.measured {
             println!(
-                "  {method:>12}: {:8.1}  (error {:.1}%)",
-                p.predicted, p.error_pct
+                "  {:>2} chiplets ({:>4} SMs): IPC {:8.1}  f_mem {:.2}  [{:.2} s sim]",
+                m.size,
+                m.size * 64,
+                m.ipc,
+                m.f_mem,
+                m.sim_seconds
             );
         }
+
+        println!("16-chiplet predictions from the 4/8-chiplet scale models:");
+        for method in [
+            "scale-model",
+            "proportional",
+            "linear",
+            "power-law",
+            "logarithmic",
+        ] {
+            if let Some(p) = out.outcome.method(method).and_then(|mo| mo.at(16)) {
+                println!(
+                    "  {method:>12}: {:8.1}  (error {:.1}%)",
+                    p.predicted, p.error_pct
+                );
+            }
+        }
+        if let Some((_, s)) = out.speedups.first() {
+            println!("simulation-time speedup vs both scale models: {s:.2}x");
+        }
     }
-    if let Some((_, s)) = out.speedups.first() {
-        println!("\nsimulation-time speedup vs both scale models: {s:.2}x");
+    if !run.is_complete() {
+        std::process::exit(1);
     }
 }

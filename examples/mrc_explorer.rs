@@ -17,8 +17,8 @@ use gpu_scale_model::trace::{MemScale, WarpStream};
 fn main() {
     let abbr = std::env::args().nth(1).unwrap_or_else(|| "dct".to_string());
     let scale = MemScale::default();
-    let bench = strong_benchmark(&abbr, scale)
-        .unwrap_or_else(|| panic!("unknown benchmark {abbr}"));
+    let bench =
+        strong_benchmark(&abbr, scale).unwrap_or_else(|| panic!("unknown benchmark {abbr}"));
     let sizes = [8u32, 16, 32, 64, 128];
     let configs: Vec<GpuConfig> = sizes
         .iter()
@@ -65,7 +65,10 @@ fn main() {
     let replay_mrc = collect_mrc(wl, &configs);
     let replay_time = t0.elapsed();
 
-    println!("\n{:>12} {:>12} {:>12} {:>12}", "LLC (paper)", "tree-exact", "SHARDS 10%", "replay+L1");
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>12}",
+        "LLC (paper)", "tree-exact", "SHARDS 10%", "replay+L1"
+    );
     for (i, cfg) in configs.iter().enumerate() {
         println!(
             "{:>9} MB {:>12.2} {:>12.2} {:>12.2}",

@@ -51,12 +51,7 @@ fn main() {
 
     // 3. The scale-model prediction (Section V.C).
     let inputs = ScaleModelInputs::new(8, sm8.sustained_ipc(), 16, sm16.sustained_ipc())
-        .with_mrc(
-            sizes
-                .iter()
-                .zip(curve.points())
-                .map(|(&s, p)| (s, p.mpki)),
-        )
+        .with_mrc(sizes.iter().zip(curve.points()).map(|(&s, p)| (s, p.mpki)))
         .with_f_mem(sm16.f_mem());
     let predictor = ScaleModelPredictor::new(inputs).expect("valid inputs");
     println!(

@@ -1,71 +1,115 @@
-//! Strong-scaling sweep: simulate one benchmark at every system size and
-//! compare all five prediction methods against the measured curve — one
-//! panel of the paper's Figure 5.
+//! Strong-scaling sweep: simulate benchmarks at every system size and
+//! compare all five prediction methods against the measured curve —
+//! panels of the paper's Figure 5, run in parallel on the gsim-runner
+//! worker pool (one job per benchmark).
 //!
 //! ```sh
-//! cargo run --release --example strong_scaling_sweep [benchmark]
+//! cargo run --release --example strong_scaling_sweep [benchmark...]
 //! ```
 
 use gpu_scale_model::core::experiment::StrongScalingExperiment;
 use gpu_scale_model::core::report::TextTable;
+use gpu_scale_model::runner::{ProgressReporter, Runner, RunnerConfig};
 use gpu_scale_model::trace::suite::strong_benchmark;
 use gpu_scale_model::trace::MemScale;
 
 fn main() {
-    let abbr = std::env::args().nth(1).unwrap_or_else(|| "bfs".to_string());
+    let mut abbrs: Vec<String> = std::env::args().skip(1).collect();
+    if abbrs.is_empty() {
+        abbrs.push("bfs".to_string());
+    }
     let scale = MemScale::default();
-    let bench = strong_benchmark(&abbr, scale)
-        .unwrap_or_else(|| panic!("unknown benchmark {abbr}"));
-    let outcome = StrongScalingExperiment::new(scale)
-        .run_benchmark(&bench)
-        .expect("pipeline runs");
+    let suite: Vec<_> = abbrs
+        .iter()
+        .map(|abbr| {
+            strong_benchmark(abbr, scale).unwrap_or_else(|| panic!("unknown benchmark {abbr}"))
+        })
+        .collect();
 
-    println!(
-        "{} — expected {}, measured {}; cliff at {:?}",
-        bench.full_name, outcome.expected, outcome.measured_class, outcome.cliff_at
-    );
-    if let Some(mrc) = &outcome.mrc {
-        println!("miss-rate curve by system size:");
-        for &(size, mpki) in mrc.points() {
-            println!("  {size:>3} SMs: {mpki:6.2} MPKI");
-        }
+    // One pipeline job per benchmark; outcomes come back in suite order
+    // regardless of which worker finishes first.
+    let runner = Runner::new(RunnerConfig::default()).with_sink(ProgressReporter::new());
+    let run = StrongScalingExperiment::new(scale).run_suite_on(&suite, "strong-example", &runner);
+    for failure in &run.failures {
+        eprintln!("failed: {failure}");
     }
 
-    let mut t = TextTable::new(vec![
-        "#SMs", "real IPC", "f_mem", "f_idle", "scale-model", "proportional", "linear",
-        "power-law", "logarithmic",
-    ]);
-    for m in &outcome.measured {
-        let mut row = vec![
-            m.size.to_string(),
-            format!("{:.1}", m.ipc),
-            format!("{:.2}", m.f_mem),
-            format!("{:.2}", m.f_idle),
-        ];
-        for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
-            row.push(
-                outcome
-                    .method(method)
-                    .and_then(|mo| mo.at(m.size))
-                    .map(|p| format!("{:.1}", p.predicted))
-                    .unwrap_or_else(|| "-".into()),
-            );
+    for outcome in &run.outcomes {
+        // Outcomes arrive in suite order, but a failed benchmark leaves a
+        // gap — look the workload back up by abbreviation.
+        let bench = suite
+            .iter()
+            .find(|b| b.abbr == outcome.abbr)
+            .expect("outcome comes from the suite");
+        println!(
+            "\n{} — expected {}, measured {}; cliff at {:?}",
+            bench.full_name, outcome.expected, outcome.measured_class, outcome.cliff_at
+        );
+        if let Some(mrc) = &outcome.mrc {
+            println!("miss-rate curve by system size:");
+            for &(size, mpki) in mrc.points() {
+                println!("  {size:>3} SMs: {mpki:6.2} MPKI");
+            }
         }
-        t.row(row);
-    }
-    println!("{}", t.render());
 
-    println!("prediction error at each target:");
-    for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
-        let errs: Vec<String> = outcome
-            .method(method)
-            .map(|mo| {
-                mo.by_target
-                    .iter()
-                    .map(|p| format!("{}SM {:.1}%", p.target, p.error_pct))
-                    .collect()
-            })
-            .unwrap_or_default();
-        println!("  {method:>12}: {}", errs.join("  "));
+        let mut t = TextTable::new(vec![
+            "#SMs",
+            "real IPC",
+            "f_mem",
+            "f_idle",
+            "scale-model",
+            "proportional",
+            "linear",
+            "power-law",
+            "logarithmic",
+        ]);
+        for m in &outcome.measured {
+            let mut row = vec![
+                m.size.to_string(),
+                format!("{:.1}", m.ipc),
+                format!("{:.2}", m.f_mem),
+                format!("{:.2}", m.f_idle),
+            ];
+            for method in [
+                "scale-model",
+                "proportional",
+                "linear",
+                "power-law",
+                "logarithmic",
+            ] {
+                row.push(
+                    outcome
+                        .method(method)
+                        .and_then(|mo| mo.at(m.size))
+                        .map(|p| format!("{:.1}", p.predicted))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+
+        println!("prediction error at each target:");
+        for method in [
+            "scale-model",
+            "proportional",
+            "linear",
+            "power-law",
+            "logarithmic",
+        ] {
+            let errs: Vec<String> = outcome
+                .method(method)
+                .map(|mo| {
+                    mo.by_target
+                        .iter()
+                        .map(|p| format!("{}SM {:.1}%", p.target, p.error_pct))
+                        .collect()
+                })
+                .unwrap_or_default();
+            println!("  {method:>12}: {}", errs.join("  "));
+        }
+    }
+    if !run.is_complete() {
+        std::process::exit(1);
     }
 }

@@ -16,7 +16,10 @@ fn main() {
     let bench = weak_benchmark(&abbr, scale)
         .unwrap_or_else(|| panic!("unknown weak benchmark {abbr}; try bfs, bs, btree, as, bp, va"));
 
-    println!("weak-scaling benchmark {abbr} (expected {}):", bench.expected);
+    println!(
+        "weak-scaling benchmark {abbr} (expected {}):",
+        bench.expected
+    );
     for (row, r) in bench.rows.iter().enumerate() {
         println!(
             "  input {}: {:>7} CTAs (paper), {:6.1} MB — for the {}-SM system",
@@ -40,7 +43,13 @@ fn main() {
     }
 
     println!("\npredictions from the 8/16-SM scale models (no miss-rate curve needed):");
-    for method in ["scale-model", "proportional", "linear", "power-law", "logarithmic"] {
+    for method in [
+        "scale-model",
+        "proportional",
+        "linear",
+        "power-law",
+        "logarithmic",
+    ] {
         if let Some(mo) = out.outcome.method(method) {
             let s: Vec<String> = mo
                 .by_target

@@ -12,6 +12,9 @@
 //!   with proportional scale-model configuration derivation.
 //! * [`core`] — the paper's contribution: the scale-model prediction
 //!   methodology, baseline predictors, and the experiment pipeline.
+//! * [`runner`] — dependency-free parallel sweep execution: a work-stealing
+//!   worker pool with per-job panic isolation, timeouts, deterministic
+//!   result ordering, and pluggable metrics/progress sinks.
 //!
 //! # Quickstart
 //!
@@ -24,5 +27,6 @@
 pub use gsim_core as core;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
+pub use gsim_runner as runner;
 pub use gsim_sim as sim;
 pub use gsim_trace as trace;

@@ -1,0 +1,59 @@
+//! End-to-end check of the gsim-runner wiring through the umbrella crate:
+//! a strong-scaling suite run on one worker thread and on four must
+//! aggregate to identical reports, and an injected panic must surface as
+//! a per-job failure without aborting the sweep.
+
+use gpu_scale_model::core::experiment::StrongScalingExperiment;
+use gpu_scale_model::core::parallel::collect;
+use gpu_scale_model::runner::{Runner, RunnerConfig};
+use gpu_scale_model::trace::suite::strong_suite;
+use gpu_scale_model::trace::MemScale;
+
+fn runner(threads: usize) -> Runner {
+    Runner::new(RunnerConfig {
+        threads,
+        ..RunnerConfig::default()
+    })
+}
+
+#[test]
+fn strong_sweep_is_thread_count_invariant() {
+    // Coarse memory divisor keeps the pipelines fast; two benchmarks are
+    // enough to have jobs genuinely interleave on four workers.
+    let scale = MemScale::new(32);
+    let suite: Vec<_> = strong_suite(scale).into_iter().take(2).collect();
+    let exp = StrongScalingExperiment::new(scale);
+
+    let serial = exp.run_suite_on(&suite, "serial", &runner(1));
+    let mut parallel = exp.run_suite_on(&suite, "parallel", &runner(4));
+    assert!(serial.is_complete(), "failures: {:?}", serial.failures);
+    assert!(parallel.is_complete(), "failures: {:?}", parallel.failures);
+    assert_eq!(parallel.outcomes.len(), serial.outcomes.len());
+
+    for (p, s) in parallel.outcomes.iter_mut().zip(&serial.outcomes) {
+        // Wall-clock is the only field allowed to differ between runs.
+        for (mp, ms) in p.measured.iter_mut().zip(&s.measured) {
+            mp.sim_seconds = ms.sim_seconds;
+        }
+        assert_eq!(p, s);
+    }
+}
+
+#[test]
+fn injected_panic_is_a_per_job_failure() {
+    let scale = MemScale::new(32);
+    let suite: Vec<_> = strong_suite(scale).into_iter().take(2).collect();
+    let exp = StrongScalingExperiment::new(scale);
+
+    let mut jobs = exp.jobs(&suite);
+    let victim = jobs[0].name().to_string();
+    jobs[0] = gpu_scale_model::runner::Job::new(victim.clone(), || {
+        panic!("injected failure for the integration test")
+    });
+
+    let run = collect(runner(4).run("faulty", jobs));
+    assert_eq!(run.outcomes.len(), suite.len() - 1, "healthy jobs survive");
+    assert_eq!(run.failures.len(), 1);
+    assert_eq!(run.failures[0].abbr, victim);
+    assert!(run.failures[0].reason.contains("injected failure"));
+}

@@ -86,7 +86,11 @@ fn linear_benchmark_is_predicted_well_by_everything_but_log() {
     assert_eq!(out.measured_class, ScalingClass::Linear);
     let err = |m: &str| out.method(m).unwrap().at(128).unwrap().error_pct;
     for m in ["scale-model", "proportional", "linear", "power-law"] {
-        assert!(err(m) < 12.0, "{m} should be accurate on pf, got {}", err(m));
+        assert!(
+            err(m) < 12.0,
+            "{m} should be accurate on pf, got {}",
+            err(m)
+        );
     }
     assert!(
         err("logarithmic") > 50.0,

@@ -62,7 +62,11 @@ fn mcm_pipeline_predicts_16_chiplets_from_4_and_8() {
         .expect("va participates in the MCM study");
     assert_eq!(out.outcome.measured.len(), 3);
     assert_eq!(
-        out.outcome.measured.iter().map(|m| m.size).collect::<Vec<_>>(),
+        out.outcome
+            .measured
+            .iter()
+            .map(|m| m.size)
+            .collect::<Vec<_>>(),
         vec![4, 8, 16]
     );
     let sm = out.outcome.method("scale-model").unwrap().at(16).unwrap();
