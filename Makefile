@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain cargo underneath.
+
+.PHONY: build test lint bench bench-smoke
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q --workspace
+
+lint:
+	cargo fmt --all --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Full micro-benchmark run; refreshes BENCH_simulator.json and
+# BENCH_mrc_engines.json at the repo root.
+bench:
+	cargo bench -p gsim-bench --bench simulator
+	cargo bench -p gsim-bench --bench mrc_engines
+
+# Smoke-test-sized bench run (seconds, not minutes): verifies the harness
+# and the JSON schema, not the timings. Used by CI.
+bench-smoke:
+	GSIM_BENCH_FAST=1 cargo bench -p gsim-bench --bench simulator
+	GSIM_BENCH_FAST=1 cargo bench -p gsim-bench --bench mrc_engines

@@ -4,8 +4,13 @@
 //! than detailed simulation. This bench compares, on the same workload:
 //! the detailed timing simulation, the functional replay collector, and
 //! the single-pass stack-distance engines (exact tree and SHARDS-sampled).
+//!
+//! Results also land in `BENCH_mrc_engines.json` at the repo root; set
+//! `GSIM_BENCH_FAST=1` for a smoke-test-sized run (CI).
 
-use gsim_bench::tinybench::Group;
+use std::cell::Cell;
+
+use gsim_bench::tinybench::{fast_mode, Group, JsonReport};
 use gsim_mem::mrc::{DistanceEngine, NaiveStack, ShardsStack, TreeStack};
 use gsim_sim::{collect_mrc, GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
@@ -13,6 +18,14 @@ use gsim_trace::{MemScale, WarpStream};
 
 fn scale() -> MemScale {
     MemScale::new(32)
+}
+
+fn samples() -> usize {
+    if fast_mode() {
+        3
+    } else {
+        10
+    }
 }
 
 fn gather_lines(limit_ctas: u32) -> Vec<u64> {
@@ -34,49 +47,76 @@ fn gather_lines(limit_ctas: u32) -> Vec<u64> {
     lines
 }
 
-fn detailed_simulation() {
+fn detailed_simulation(rep: &mut JsonReport) {
     let bench = strong_benchmark("bfs", scale()).expect("bfs exists");
-    let cfg = GpuConfig::paper_target(128, scale());
-    let g = Group::new("mrc_vs_detailed").samples(10);
-    g.bench("detailed_timing_sim_128sm", || {
-        Simulator::new(cfg.clone(), &bench.workload).run()
-    });
+    let sms = if fast_mode() { 8 } else { 128 };
+    let cfg = GpuConfig::paper_target(sms, scale());
+    let g = Group::new("mrc_vs_detailed").samples(samples());
+    let cycles = Cell::new(0u64);
+    let name = format!("detailed_timing_sim_{sms}sm");
+    if let Some(median) = g.bench(&name, || {
+        let st = Simulator::new(cfg.clone(), &bench.workload).run();
+        cycles.set(st.cycles);
+        st
+    }) {
+        rep.record(
+            format!("mrc_vs_detailed/{name}"),
+            median,
+            1,
+            Some(cycles.get()),
+        );
+    }
     let configs: Vec<GpuConfig> = [8u32, 16, 32, 64, 128]
         .iter()
         .map(|&s| GpuConfig::paper_target(s, scale()))
         .collect();
-    g.bench("functional_replay_5_capacities", || {
+    if let Some(median) = g.bench("functional_replay_5_capacities", || {
         collect_mrc(&bench.workload, &configs)
-    });
+    }) {
+        rep.record(
+            "mrc_vs_detailed/functional_replay_5_capacities",
+            median,
+            1,
+            None,
+        );
+    }
 }
 
-fn stack_engines() {
-    let lines = gather_lines(64);
+fn stack_engines(rep: &mut JsonReport) {
+    let lines = gather_lines(if fast_mode() { 8 } else { 64 });
     let g = Group::new("stack_distance")
-        .samples(10)
+        .samples(samples())
         .throughput(lines.len() as u64);
-    g.bench("tree_exact", || {
+    if let Some(median) = g.bench("tree_exact", || {
         let mut e = TreeStack::with_capacity(lines.len());
         e.record_all(lines.iter().copied());
         e.finish()
-    });
-    g.bench("shards_10pct", || {
+    }) {
+        rep.record("stack_distance/tree_exact", median, 1, None);
+    }
+    if let Some(median) = g.bench("shards_10pct", || {
         let mut e = ShardsStack::new(0.1);
         e.record_all(lines.iter().copied());
         e.finish()
-    });
+    }) {
+        rep.record("stack_distance/shards_10pct", median, 1, None);
+    }
 
     // The quadratic reference implementation, on a small prefix only.
     let small = &lines[..lines.len().min(20_000)];
-    let g = Group::new("stack_distance_reference").samples(10);
-    g.bench("naive_20k", || {
+    let g = Group::new("stack_distance_reference").samples(samples());
+    if let Some(median) = g.bench("naive_20k", || {
         let mut e = NaiveStack::new();
         e.record_all(small.iter().copied());
         e.finish()
-    });
+    }) {
+        rep.record("stack_distance_reference/naive_20k", median, 1, None);
+    }
 }
 
 fn main() {
-    detailed_simulation();
-    stack_engines();
+    let mut rep = JsonReport::for_target("mrc_engines");
+    detailed_simulation(&mut rep);
+    stack_engines(&mut rep);
+    rep.write();
 }

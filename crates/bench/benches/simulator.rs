@@ -1,42 +1,114 @@
-//! Timing-simulator cost: what scale-model simulation saves.
+//! Timing-simulator cost: what scale-model simulation saves, and what
+//! intra-simulation parallelism buys on top.
 //!
 //! Benchmarks the detailed simulator on scale models vs target systems
 //! under both strong scaling (same workload everywhere — little saving,
 //! footnote 1 of the paper) and weak scaling (input grows with the target
-//! — the Figure 7 speedups come from exactly this gap).
+//! — the Figure 7 speedups come from exactly this gap), plus a 64-SM
+//! memory-bound workload at `sim_threads` 1 and 8 (the sharded engine's
+//! headline case; results are bit-identical, only wall time moves).
+//!
+//! Results also land in `BENCH_simulator.json` at the repo root; set
+//! `GSIM_BENCH_FAST=1` for a smoke-test-sized run (CI).
 
-use gsim_bench::tinybench::Group;
+use std::cell::Cell;
+
+use gsim_bench::tinybench::{fast_mode, Group, JsonReport};
 use gsim_sim::{GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
 use gsim_trace::weak::weak_benchmark;
-use gsim_trace::MemScale;
+use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
 
 fn scale() -> MemScale {
     MemScale::new(32)
 }
 
-fn strong_scaling_cost() {
-    let bench = strong_benchmark("pf", scale()).expect("pf exists");
-    let g = Group::new("simulate_strong_pf").samples(10);
-    for sms in [8u32, 16, 128] {
-        let cfg = GpuConfig::paper_target(sms, scale());
-        g.bench(&sms.to_string(), || {
-            Simulator::new(cfg.clone(), &bench.workload).run()
-        });
+fn samples() -> usize {
+    if fast_mode() {
+        3
+    } else {
+        10
     }
 }
 
-fn weak_scaling_cost() {
+fn sm_sizes() -> &'static [u32] {
+    if fast_mode() {
+        &[8]
+    } else {
+        &[8, 16, 128]
+    }
+}
+
+/// Times one simulator configuration and records it in the JSON report
+/// with its deterministic cycle count (for the cycles/sec rate).
+fn bench_sim(
+    g: &Group,
+    rep: &mut JsonReport,
+    id: &str,
+    name: &str,
+    cfg: &GpuConfig,
+    wl: &Workload,
+) {
+    let cycles = Cell::new(0u64);
+    if let Some(median) = g.bench(name, || {
+        let st = Simulator::new(cfg.clone(), wl).run();
+        cycles.set(st.cycles);
+        st
+    }) {
+        rep.record(id, median, cfg.sim_threads.max(1), Some(cycles.get()));
+    }
+}
+
+fn strong_scaling_cost(rep: &mut JsonReport) {
+    let bench = strong_benchmark("pf", scale()).expect("pf exists");
+    let g = Group::new("simulate_strong_pf").samples(samples());
+    for &sms in sm_sizes() {
+        let cfg = GpuConfig::paper_target(sms, scale());
+        let id = format!("simulate_strong_pf/{sms}");
+        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &bench.workload);
+    }
+}
+
+fn weak_scaling_cost(rep: &mut JsonReport) {
     let bench = weak_benchmark("va", scale()).expect("va exists");
-    let g = Group::new("simulate_weak_va").samples(10);
-    for sms in [8u32, 16, 128] {
+    let g = Group::new("simulate_weak_va").samples(samples());
+    for &sms in sm_sizes() {
         let wl = bench.workload_for_sms(sms);
         let cfg = GpuConfig::paper_target(sms, scale());
-        g.bench(&sms.to_string(), || Simulator::new(cfg.clone(), &wl).run());
+        let id = format!("simulate_weak_va/{sms}");
+        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &wl);
+    }
+}
+
+/// The sharded-engine case: a 64-SM target on an LLC-overflowing global
+/// sweep (memory-bound, so cycles are plentiful and phase A dominates),
+/// serial vs 8 intra-simulation threads.
+fn parallel_64sm_membound(rep: &mut JsonReport) {
+    let sc = scale();
+    let passes = if fast_mode() { 1 } else { 3 };
+    let spec = PatternSpec::new(
+        PatternKind::GlobalSweep { passes },
+        sc.mb_to_model_lines(48.0),
+    )
+    .compute_per_mem(1.0);
+    let wl = Workload::new(
+        "membound64",
+        6464,
+        vec![Kernel::new("sweep", 2048, 256, spec)],
+    );
+    let g = Group::new("parallel_64sm_membound").samples(samples());
+    for threads in [1u32, 8] {
+        let mut cfg = GpuConfig::paper_target(64, sc);
+        cfg.sim_threads = threads;
+        let id = format!("parallel_64sm_membound/t{threads}");
+        bench_sim(&g, rep, &id, &format!("t{threads}"), &cfg, &wl);
     }
 }
 
 fn main() {
-    strong_scaling_cost();
-    weak_scaling_cost();
+    let mut rep = JsonReport::for_target("simulator");
+    strong_scaling_cost(&mut rep);
+    weak_scaling_cost(&mut rep);
+    parallel_64sm_membound(&mut rep);
+    rep.write();
 }

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! gsim list
-//! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak]
-//! gsim sweep <benchmark> [--scale D] [--threads N] [--weak]
-//! gsim mcm <benchmark> [--chiplets C] [--scale D]
+//! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak] [--sim-threads N]
+//! gsim sweep <benchmark> [--scale D] [--threads N] [--weak] [--sim-threads N]
+//! gsim mcm <benchmark> [--chiplets C] [--scale D] [--sim-threads N]
 //! gsim mrc <benchmark> [--scale D]
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
-//! gsim trace-run <file> [--sms N] [--scale D]
+//! gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
@@ -15,6 +15,10 @@
 //! ladder on a gsim-runner worker pool; `trace-dump`/`trace-run` exercise
 //! the trace-driven front-end; `mrc` prints the functional miss-rate
 //! curve with region labels.
+//!
+//! `--sim-threads N` shards each simulation's per-SM phase over N threads
+//! (`--threads` parallelises *across* sweep jobs instead). Results are
+//! bit-identical for any N ≥ 1.
 
 use std::fs::File;
 use std::process::exit;
@@ -29,10 +33,11 @@ use gsim_trace::{MemScale, TracedWorkload, Workload, WorkloadModel};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gsim list\n  gsim run <benchmark> [--sms N] [--scale D] \
-         [--banked-dram BANKS] [--weak]\n  gsim sweep <benchmark> [--scale D] [--threads N] \
-         [--weak]\n  gsim mcm <benchmark> [--chiplets C] [--scale D]\n  \
+         [--banked-dram BANKS] [--weak] [--sim-threads N]\n  gsim sweep <benchmark> [--scale D] \
+         [--threads N] [--weak] [--sim-threads N]\n  gsim mcm <benchmark> [--chiplets C] \
+         [--scale D] [--sim-threads N]\n  \
          gsim mrc <benchmark> [--scale D]\n  gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
-         gsim trace-run <file> [--sms N] [--scale D]"
+         gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]"
     );
     exit(2)
 }
@@ -43,6 +48,7 @@ struct Flags {
     scale: MemScale,
     banked_dram: u32,
     threads: usize,
+    sim_threads: u32,
     weak: bool,
     output: Option<String>,
     positional: Vec<String>,
@@ -55,6 +61,7 @@ fn parse(args: &[String]) -> Flags {
         scale: MemScale::default(),
         banked_dram: 0,
         threads: 0,
+        sim_threads: 1,
         weak: false,
         output: None,
         positional: Vec::new(),
@@ -73,6 +80,13 @@ fn parse(args: &[String]) -> Flags {
             "--scale" => f.scale = MemScale::new(num("--scale")),
             "--banked-dram" => f.banked_dram = num("--banked-dram"),
             "--threads" => f.threads = num("--threads") as usize,
+            "--sim-threads" => {
+                f.sim_threads = num("--sim-threads");
+                if f.sim_threads == 0 {
+                    eprintln!("--sim-threads must be >= 1");
+                    exit(2)
+                }
+            }
             "--weak" => f.weak = true,
             "-o" | "--output" => f.output = it.next().cloned(),
             other if other.starts_with('-') => {
@@ -102,6 +116,7 @@ fn print_stats(label: &str, st: &SimStats) {
         st.ctas_executed, st.kernels_executed
     );
     println!("  simulated in      {:>12.2} s", st.sim_wall_seconds);
+    println!("  sim cycles/sec    {:>14.0}", st.sim_cycles_per_second());
 }
 
 fn main() {
@@ -144,6 +159,7 @@ fn main() {
             };
             let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
             cfg.dram_banks_per_mc = f.banked_dram;
+            cfg.sim_threads = f.sim_threads;
             let st = Simulator::new(cfg, &wl).run();
             print_stats(&format!("{name} on {} SMs ({})", f.sms, f.scale), &st);
         }
@@ -164,6 +180,7 @@ fn main() {
                 Box::new(move |_| bench.workload.clone())
             };
             let scale = f.scale;
+            let sim_threads = f.sim_threads;
             let sizes = [8u32, 16, 32, 64, 128];
             let runner = Runner::new(RunnerConfig {
                 threads: f.threads,
@@ -177,7 +194,8 @@ fn main() {
                     .map(|&z| (format!("{name}@{z}sm"), z))
                     .collect(),
                 move |&sms: &u32| {
-                    let cfg = GpuConfig::paper_target(sms, scale);
+                    let mut cfg = GpuConfig::paper_target(sms, scale);
+                    cfg.sim_threads = sim_threads;
                     Simulator::new(cfg, &workload_for(sms)).run()
                 },
             );
@@ -226,7 +244,8 @@ fn main() {
                 exit(2)
             });
             let wl = bench.workload_for_chiplets(f.chiplets);
-            let mcm = ChipletConfig::paper_mcm(f.chiplets, f.scale);
+            let mut mcm = ChipletConfig::paper_mcm(f.chiplets, f.scale);
+            mcm.chiplet.sim_threads = f.sim_threads;
             let st = Simulator::new_mcm(&mcm, &wl).run();
             print_stats(
                 &format!(
@@ -303,6 +322,7 @@ fn main() {
             });
             let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
             cfg.dram_banks_per_mc = f.banked_dram;
+            cfg.sim_threads = f.sim_threads;
             let st = Simulator::new(cfg, &traced).run();
             print_stats(
                 &format!("trace {} on {} SMs ({})", traced.name(), f.sms, f.scale),

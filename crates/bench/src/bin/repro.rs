@@ -4,6 +4,8 @@
 //! repro [OPTIONS] [SECTION ...]
 //!   --scale N          memory divisor for the miniature (default 8)
 //!   --threads N        sweep worker threads (0 = auto, the default)
+//!   --sim-threads N    threads *inside* each simulation (default 1;
+//!                      results are bit-identical for any value)
 //!   --metrics FILE     append JSONL sweep metrics to FILE
 //!   --inject-panic B   replace benchmark B's job with one that panics
 //!                      (failure-isolation demo; the sweep still completes)
@@ -64,12 +66,13 @@ const ALL_SECTIONS: [&str; 17] = [
     "sampling",
 ];
 
-const USAGE: &str = "usage: repro [--scale N] [--threads N] [--metrics FILE] \
-                     [--inject-panic BENCH] [SECTION ...]";
+const USAGE: &str = "usage: repro [--scale N] [--threads N] [--sim-threads N] \
+                     [--metrics FILE] [--inject-panic BENCH] [SECTION ...]";
 
 struct Options {
     scale: MemScale,
     threads: usize,
+    sim_threads: u32,
     metrics: Option<String>,
     inject_panic: Option<String>,
     sections: BTreeSet<String>,
@@ -79,6 +82,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         scale: MemScale::default(),
         threads: 0,
+        sim_threads: 1,
         metrics: None,
         inject_panic: None,
         sections: BTreeSet::new(),
@@ -102,6 +106,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 opts.threads = v
                     .parse()
                     .map_err(|_| format!("--threads takes a thread count, got {v:?}"))?;
+            }
+            "--sim-threads" => {
+                let v = args.next().ok_or("--sim-threads requires a value")?;
+                opts.sim_threads = v
+                    .parse()
+                    .map_err(|_| format!("--sim-threads takes a thread count, got {v:?}"))?;
+                if opts.sim_threads == 0 {
+                    return Err("--sim-threads must be >= 1".into());
+                }
             }
             "--metrics" => {
                 opts.metrics = Some(args.next().ok_or("--metrics requires a file path")?);
@@ -128,6 +141,26 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         opts.sections = ALL_SECTIONS.iter().map(|s| s.to_string()).collect();
     }
     Ok(opts)
+}
+
+/// Prints a suite's aggregate simulation throughput (simulated cycles per
+/// wall-clock second; wall time is summed over jobs, so the rate is
+/// per-worker rather than end-to-end).
+fn report_sim_rate<'a>(label: &str, outcomes: impl Iterator<Item = &'a BenchmarkOutcome>) {
+    let (mut cycles, mut secs) = (0u64, 0.0f64);
+    for o in outcomes {
+        for m in &o.measured {
+            cycles += m.cycles;
+            secs += m.sim_seconds;
+        }
+    }
+    if secs > 0.0 {
+        eprintln!(
+            "[repro] {label}: {cycles} simulated cycles in {secs:.2} s of simulator time \
+             ({:.0} cycles/sec)",
+            cycles as f64 / secs
+        );
+    }
 }
 
 /// Replaces the job named `victim` (if present) with one that panics —
@@ -198,7 +231,7 @@ fn main() -> ExitCode {
             runner.threads()
         );
         let suite = strong_suite(scale);
-        let exp = StrongScalingExperiment::new(scale);
+        let exp = StrongScalingExperiment::new(scale).with_sim_threads(opts.sim_threads);
         let mut jobs = exp.jobs(&suite);
         if let Some(victim) = &opts.inject_panic {
             injected |= inject_panic(&mut jobs, victim);
@@ -206,6 +239,7 @@ fn main() -> ExitCode {
         let run = collect(runner.run("strong", jobs));
         failures.extend(run.failures.iter().cloned());
         let outcomes = run.outcomes;
+        report_sim_rate("strong-scaling suite", outcomes.iter());
         if want("table2") {
             emit("table2", &table2(scale, &outcomes));
         }
@@ -236,7 +270,7 @@ fn main() -> ExitCode {
             runner.threads()
         );
         let suite = weak_suite(scale);
-        let exp = WeakScalingExperiment::new(scale);
+        let exp = WeakScalingExperiment::new(scale).with_sim_threads(opts.sim_threads);
         let mut jobs = exp.jobs(&suite);
         if let Some(victim) = &opts.inject_panic {
             injected |= inject_panic(&mut jobs, victim);
@@ -244,6 +278,7 @@ fn main() -> ExitCode {
         let run = collect(runner.run("weak", jobs));
         failures.extend(run.failures.iter().cloned());
         let outcomes = run.outcomes;
+        report_sim_rate("weak-scaling suite", outcomes.iter().map(|o| &o.outcome));
         if want("table4") {
             emit("table4", &table4(scale));
         }
@@ -273,13 +308,14 @@ fn main() -> ExitCode {
             runner.threads()
         );
         let suite = weak_suite(scale);
-        let exp = McmExperiment::new(scale);
+        let exp = McmExperiment::new(scale).with_sim_threads(opts.sim_threads);
         let mut jobs = exp.jobs(&suite);
         if let Some(victim) = &opts.inject_panic {
             injected |= inject_panic(&mut jobs, victim);
         }
         let run = collect(runner.run("mcm", jobs));
         failures.extend(run.failures.iter().cloned());
+        report_sim_rate("mcm suite", run.outcomes.iter().map(|o| &o.outcome));
         emit("fig8", &fig8(&run.outcomes));
     }
 

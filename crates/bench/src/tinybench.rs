@@ -9,8 +9,16 @@
 //!
 //! Filtering works like Criterion's: `cargo bench -- <substring>` runs
 //! only benchmarks whose `group/name` id contains the substring.
+//!
+//! Besides the human-readable lines, a bench target can collect its
+//! results into a [`JsonReport`] and write a `BENCH_<name>.json` file at
+//! the repo root, so successive runs can be diffed for regressions
+//! (`make bench` refreshes them). Setting `GSIM_BENCH_FAST=1` asks bench
+//! targets for a smoke-test-sized run — fewer samples on shrunk inputs —
+//! for CI, where only the harness and the JSON schema are under test.
 
 use std::hint::black_box as std_black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Re-exported optimizer barrier; wrap inputs/outputs you do not want
@@ -123,6 +131,126 @@ impl Group {
     }
 }
 
+/// Whether `GSIM_BENCH_FAST` asks for a smoke-test-sized run (CI): bench
+/// targets should cut sample counts and shrink inputs so the whole target
+/// finishes in seconds. Timings from fast runs are not comparable to full
+/// runs; only the emitted JSON's shape is.
+pub fn fast_mode() -> bool {
+    std::env::var_os("GSIM_BENCH_FAST").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One benchmark's distilled result inside a [`JsonReport`].
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The `group/name` benchmark id.
+    pub name: String,
+    /// Median wall time of one iteration, in nanoseconds.
+    pub median_ns: u128,
+    /// Intra-simulation threads the measured run used (1 = serial).
+    pub sim_threads: u32,
+    /// Simulated cycles per wall-clock second, for simulator benches
+    /// (`None` for benches that do not run the timing simulator).
+    pub cycles_per_second: Option<f64>,
+}
+
+/// Collects [`Record`]s and writes them as `BENCH_<target>.json` at the
+/// repo root. The format is a stable, diffable schema:
+///
+/// ```json
+/// {
+///   "schema": "gsim-tinybench-v1",
+///   "fast_mode": false,
+///   "records": [
+///     {"name": "g/b", "median_ns": 12, "sim_threads": 1,
+///      "cycles_per_second": 3.1e6}
+///   ]
+/// }
+/// ```
+pub struct JsonReport {
+    path: PathBuf,
+    records: Vec<Record>,
+}
+
+impl JsonReport {
+    /// A report that will land at `<repo root>/BENCH_<target>.json`.
+    pub fn for_target(target: &str) -> Self {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate sits two levels under the repo root");
+        Self {
+            path: root.join(format!("BENCH_{target}.json")),
+            records: Vec::new(),
+        }
+    }
+
+    /// Adds one result. `cycles` (the deterministic simulated-cycle count
+    /// of one iteration) turns into a cycles-per-second rate.
+    pub fn record(
+        &mut self,
+        name: impl Into<String>,
+        median: Duration,
+        sim_threads: u32,
+        cycles: Option<u64>,
+    ) {
+        let secs = median.as_secs_f64();
+        self.records.push(Record {
+            name: name.into(),
+            median_ns: median.as_nanos(),
+            sim_threads,
+            cycles_per_second: cycles.filter(|_| secs > 0.0).map(|c| c as f64 / secs),
+        });
+    }
+
+    /// The JSON document (hand-rolled: the workspace has no serde).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"gsim-tinybench-v1\",\n");
+        out.push_str(&format!("  \"fast_mode\": {},\n", fast_mode()));
+        out.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"median_ns\": {}, \"sim_threads\": {}, \
+                 \"cycles_per_second\": {}}}",
+                json_escape(&r.name),
+                r.median_ns,
+                r.sim_threads,
+                match r.cycles_per_second {
+                    Some(c) if c.is_finite() => format!("{c:.1}"),
+                    _ => "null".into(),
+                }
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the report; prints where it went. Call once at target exit.
+    /// Skipped when a CLI filter deselected every benchmark, so partial
+    /// runs never clobber a full report.
+    pub fn write(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        std::fs::write(&self.path, self.render())
+            .unwrap_or_else(|e| panic!("write {}: {e}", self.path.display()));
+        println!("wrote {}", self.path.display());
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
@@ -153,6 +281,32 @@ mod tests {
             })
             .expect("no filter set in tests");
         assert!(median < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn json_report_renders_schema() {
+        let mut rep = JsonReport::for_target("test");
+        rep.record("g/serial", Duration::from_micros(3), 1, Some(6_000));
+        rep.record("g/\"odd\"", Duration::from_nanos(0), 8, Some(1));
+        rep.record("g/no_sim", Duration::from_millis(1), 1, None);
+        let json = rep.render();
+        assert!(json.contains("\"schema\": \"gsim-tinybench-v1\""));
+        // 6000 cycles in 3 us = 2e9 cycles/sec.
+        assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
+        // Zero-duration medians cannot produce a rate.
+        assert!(json.contains("\\\"odd\\\""));
+        assert!(json.contains("\"median_ns\": 0, \"sim_threads\": 8, \"cycles_per_second\": null"));
+        // Non-simulator benches carry no rate either.
+        assert!(json.contains("\"name\": \"g/no_sim\""));
+        assert_eq!(json.matches("\"cycles_per_second\": null").count(), 2);
+    }
+
+    #[test]
+    fn empty_reports_are_not_written() {
+        // A filtered-out run must not clobber BENCH_*.json with `[]`.
+        let rep = JsonReport::for_target("nonexistent-target");
+        rep.write();
+        assert!(!rep.path.exists());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! End-to-end checks of the `--sim-threads` flag on the CLI binaries.
+
+use std::process::{Command, Output};
+
+fn gsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gsim"))
+        .args(args)
+        .output()
+        .expect("spawn gsim")
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn scale_model_predict(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scale_model_predict"))
+        .args(args)
+        .output()
+        .expect("spawn scale_model_predict")
+}
+
+/// Extracts the simulated-cycle count from `gsim run` output.
+fn cycles_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.trim_start().starts_with("cycles"))
+        .expect("gsim prints a cycles line")
+        .to_string()
+}
+
+#[test]
+fn gsim_run_accepts_sim_threads_and_stays_deterministic() {
+    // A small scale model on the coarsest miniature keeps this fast.
+    let serial = gsim(&["run", "pf", "--sms", "8", "--scale", "64"]);
+    assert!(serial.status.success(), "serial run failed: {serial:?}");
+    let sharded = gsim(&[
+        "run",
+        "pf",
+        "--sms",
+        "8",
+        "--scale",
+        "64",
+        "--sim-threads",
+        "2",
+    ]);
+    assert!(sharded.status.success(), "sharded run failed: {sharded:?}");
+    assert_eq!(
+        cycles_line(&serial),
+        cycles_line(&sharded),
+        "results must be bit-identical across --sim-threads"
+    );
+    let stdout = String::from_utf8_lossy(&sharded.stdout).to_string();
+    assert!(
+        stdout.contains("sim cycles/sec"),
+        "summary should report simulation throughput: {stdout}"
+    );
+}
+
+#[test]
+fn gsim_rejects_zero_sim_threads() {
+    let out = gsim(&["run", "pf", "--sim-threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sim-threads"));
+}
+
+#[test]
+fn repro_rejects_zero_sim_threads() {
+    let out = repro(&["--sim-threads", "0", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sim-threads"));
+}
+
+#[test]
+fn repro_accepts_sim_threads() {
+    // table1 derives configurations without running simulations, so this
+    // only exercises argument handling — which is the point.
+    let out = repro(&["--sim-threads", "2", "table1"]);
+    assert!(out.status.success(), "repro failed: {out:?}");
+}
+
+#[test]
+fn scale_model_predict_accepts_and_validates_sim_threads() {
+    let ok = scale_model_predict(&[
+        "--sim-threads",
+        "4",
+        "10.0",
+        "20.0",
+        "5.0",
+        "5.0",
+        "5.0",
+        "5.0",
+        "5.0",
+    ]);
+    assert!(ok.status.success(), "predict failed: {ok:?}");
+    let bad = scale_model_predict(&["--sim-threads", "0", "10.0", "20.0", "5.0"]);
+    assert_eq!(bad.status.code(), Some(2));
+}

@@ -190,6 +190,7 @@ pub struct StrongScalingExperiment {
     scale: MemScale,
     sizes: Vec<u32>,
     model_sizes: (u32, u32),
+    sim_threads: u32,
 }
 
 impl StrongScalingExperiment {
@@ -199,7 +200,18 @@ impl StrongScalingExperiment {
             scale,
             sizes: vec![8, 16, 32, 64, 128],
             model_sizes: (8, 16),
+            sim_threads: 1,
         }
+    }
+
+    /// Shards each simulation's per-SM phase over `sim_threads` threads
+    /// (`GpuConfig::sim_threads`); results are bit-identical either way.
+    /// Composes with sweep-level parallelism: a sweep of small configs
+    /// keeps one simulation per core, a single big run fans out inside.
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
+        self.sim_threads = sim_threads.max(1);
+        self
     }
 
     /// Uses different scale-model sizes (the artifact appendix evaluates
@@ -232,7 +244,11 @@ impl StrongScalingExperiment {
         let configs: Vec<GpuConfig> = self
             .sizes
             .iter()
-            .map(|&s| GpuConfig::paper_target(s, self.scale))
+            .map(|&s| {
+                let mut cfg = GpuConfig::paper_target(s, self.scale);
+                cfg.sim_threads = self.sim_threads;
+                cfg
+            })
             .collect();
         // Detailed simulation of every size (targets are the ground truth;
         // scale models are the predictor inputs).
@@ -314,12 +330,24 @@ pub struct WeakOutcome {
 #[derive(Debug, Clone)]
 pub struct WeakScalingExperiment {
     scale: MemScale,
+    sim_threads: u32,
 }
 
 impl WeakScalingExperiment {
     /// The paper's setup (8/16-SM scale models, 32/64/128-SM targets).
     pub fn new(scale: MemScale) -> Self {
-        Self { scale }
+        Self {
+            scale,
+            sim_threads: 1,
+        }
+    }
+
+    /// Shards each simulation's per-SM phase over `sim_threads` threads
+    /// (`GpuConfig::sim_threads`); results are bit-identical either way.
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
+        self.sim_threads = sim_threads.max(1);
+        self
     }
 
     /// Runs the pipeline for one weak-scalable benchmark.
@@ -333,7 +361,8 @@ impl WeakScalingExperiment {
             .iter()
             .map(|&s| {
                 let wl = bench.workload_for_sms(s);
-                let cfg = GpuConfig::paper_target(s, self.scale);
+                let mut cfg = GpuConfig::paper_target(s, self.scale);
+                cfg.sim_threads = self.sim_threads;
                 measure(&Simulator::new(cfg, &wl).run(), s)
             })
             .collect();
@@ -373,6 +402,7 @@ impl WeakScalingExperiment {
 pub struct McmExperiment {
     scale: MemScale,
     chiplet_counts: [u32; 3],
+    sim_threads: u32,
 }
 
 impl McmExperiment {
@@ -381,7 +411,16 @@ impl McmExperiment {
         Self {
             scale,
             chiplet_counts: [4, 8, 16],
+            sim_threads: 1,
         }
+    }
+
+    /// Shards each simulation's per-SM phase over `sim_threads` threads
+    /// (`GpuConfig::sim_threads`); results are bit-identical either way.
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
+        self.sim_threads = sim_threads.max(1);
+        self
     }
 
     /// Runs the pipeline for one benchmark; returns `None` if the
@@ -399,7 +438,8 @@ impl McmExperiment {
             .iter()
             .map(|&c| {
                 let wl = bench.workload_for_chiplets(c);
-                let mcm = ChipletConfig::paper_mcm(c, self.scale);
+                let mut mcm = ChipletConfig::paper_mcm(c, self.scale);
+                mcm.chiplet.sim_threads = self.sim_threads;
                 measure(&Simulator::new_mcm(&mcm, &wl).run(), c)
             })
             .collect();

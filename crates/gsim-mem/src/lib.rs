@@ -41,6 +41,7 @@ mod cache;
 mod dram;
 mod geometry;
 mod mshr;
+mod pending;
 mod slice;
 
 pub mod mrc;
@@ -50,6 +51,7 @@ pub use cache::{AccessResult, Cache, EvictedLine, ReplacementPolicy};
 pub use dram::{DramModel, DramStats};
 pub use geometry::CacheGeometry;
 pub use mshr::{Mshr, MshrOutcome};
+pub use pending::FillTracker;
 pub use slice::{slice_for_line, SlicedLlc};
 
 /// Number of bytes in a cache line used throughout the paper's configuration

@@ -106,6 +106,19 @@ impl SlicedLlc {
         self.slices[s].access(line_addr, is_write)
     }
 
+    /// Accesses `line_addr` in `slice`, previously computed via
+    /// [`SlicedLlc::slice_of`]. Lets callers that already hashed the address
+    /// (e.g. for slice-port arbitration) avoid hashing it a second time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range; debug-asserts that it matches the
+    /// owning slice of `line_addr`.
+    pub fn access_at(&mut self, slice: u32, line_addr: u64, is_write: bool) -> AccessResult {
+        debug_assert_eq!(slice, self.slice_of(line_addr));
+        self.slices[slice as usize].access(line_addr, is_write)
+    }
+
     /// Probes without updating LRU state.
     pub fn contains(&self, line_addr: u64) -> bool {
         let s = self.slice_of(line_addr) as usize;

@@ -61,6 +61,11 @@ pub struct GpuConfig {
     /// 0 (the default) selects the flat bandwidth model the paper-level
     /// studies use.
     pub dram_banks_per_mc: u32,
+    /// Worker threads the engine shards SMs across *within* one
+    /// simulation (DESIGN.md §10). Purely a host-side execution knob:
+    /// simulation results are bit-identical for any value. `0` and `1`
+    /// both select the serial path.
+    pub sim_threads: u32,
     /// The memory miniature this config was built with.
     pub mem_scale: MemScale,
 }
@@ -91,6 +96,7 @@ impl GpuConfig {
             dram_latency: 150,
             llc_policy: ReplacementPolicy::Lru,
             dram_banks_per_mc: 0,
+            sim_threads: 1,
             mem_scale: scale,
         }
     }

@@ -1,0 +1,192 @@
+//! The shared memory system of a chip(let) and the request path into it.
+//!
+//! Everything here is *shared* state — LLC slices, the in-flight fill
+//! tracker, the crossbar, DRAM and the inter-chiplet network — so it is
+//! only ever touched from the serial apply phase (phase B), in ascending
+//! SM order. That ordering, not locks, is what keeps results
+//! thread-count-invariant (DESIGN.md §10).
+
+use gsim_mem::{BankedDramModel, DramModel, DramTiming, FillTracker, SlicedLlc};
+use gsim_trace::WorkloadModel;
+
+use super::EngineCore;
+use crate::config::GpuConfig;
+use gsim_noc::Crossbar;
+
+/// Cycles an LLC slice port is occupied by a normal access (slices are
+/// dual-banked: two accesses per cycle).
+const SLICE_OCCUPANCY: f64 = 0.5;
+/// Cycles an LLC slice port is occupied by an atomic read-modify-write:
+/// the read-modify-write turnaround serialises at the slice, which is what
+/// makes hot shared lines camp (Zhao et al.'s memory-side camping [65]).
+const ATOMIC_OCCUPANCY: f64 = 8.0;
+/// Effective fraction of a transfer charged against the bisection
+/// bandwidth: under uniform traffic only ~half of the transfers cross the
+/// bisection, and requests/responses ride separate physical networks, so a
+/// 128 B data response consumes ~a quarter of its size in bisection
+/// capacity. This keeps an LLC-resident working set serviceable at near
+/// full issue rate — the property behind the paper's post-cliff
+/// "no longer stalled waiting for memory" assumption (Section V.C.2).
+const BISECTION_FRACTION: f64 = 0.25;
+/// Response payload of an atomic (a word, not a line).
+const ATOMIC_BYTES: u32 = 32;
+
+/// What kind of request enters the shared memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ReqKind {
+    Load,
+    Store,
+    Atomic,
+}
+
+/// The DRAM backend: flat bandwidth server (default) or the banked
+/// row-buffer model (`GpuConfig::dram_banks_per_mc > 0`).
+pub(super) enum Dram {
+    Flat(DramModel),
+    Banked(BankedDramModel),
+}
+
+impl Dram {
+    fn read(&mut self, now: u64, line: u64, bytes: u32) -> u64 {
+        match self {
+            Dram::Flat(d) => d.read(now, line, bytes),
+            Dram::Banked(d) => d.read(now, line, bytes),
+        }
+    }
+
+    fn write_back(&mut self, now: u64, line: u64, bytes: u32) {
+        match self {
+            Dram::Flat(d) => d.write_back(now, line, bytes),
+            Dram::Banked(d) => d.write_back(now, line, bytes),
+        }
+    }
+}
+
+/// One memory domain: the shared memory system of a chip(let).
+pub(super) struct MemDomain {
+    pub noc: Crossbar,
+    pub llc: SlicedLlc,
+    pub slice_free: Vec<f64>,
+    pub dram: Dram,
+    /// In-flight LLC fills (line -> completion cycle), for miss merging.
+    pub pending: FillTracker,
+}
+
+impl MemDomain {
+    pub(super) fn new(cfg: &GpuConfig) -> Self {
+        let llc = SlicedLlc::with_policy(
+            cfg.llc_bytes_total,
+            cfg.llc_slices,
+            cfg.llc_ways,
+            cfg.line_bytes,
+            cfg.llc_policy,
+        );
+        Self {
+            noc: Crossbar::from_gbs(cfg.noc_gbs, cfg.sm_clock_ghz, cfg.noc_hop_latency),
+            slice_free: vec![0.0; cfg.llc_slices as usize],
+            llc,
+            dram: if cfg.dram_banks_per_mc > 0 {
+                Dram::Banked(BankedDramModel::new(
+                    cfg.n_mcs,
+                    cfg.dram_banks_per_mc,
+                    cfg.dram_gbs_per_mc,
+                    cfg.sm_clock_ghz,
+                    DramTiming::default(),
+                ))
+            } else {
+                Dram::Flat(DramModel::new(
+                    cfg.n_mcs,
+                    cfg.dram_gbs_per_mc,
+                    cfg.sm_clock_ghz,
+                    cfg.dram_latency,
+                ))
+            },
+            pending: FillTracker::new(),
+        }
+    }
+}
+
+impl<W: WorkloadModel> EngineCore<'_, W> {
+    /// Domain owning `line` (first-touch page placement for MCM; always 0
+    /// for monolithic GPUs).
+    fn owner_of(&mut self, line: u64, toucher: u32) -> u32 {
+        if self.domains.len() == 1 {
+            return 0;
+        }
+        let page = line >> self.page_shift;
+        *self.page_owner.entry(page).or_insert(toucher)
+    }
+
+    /// Sends one transaction into the shared memory system; returns the
+    /// cycle its response reaches the requesting SM.
+    pub(super) fn mem_request(
+        &mut self,
+        now: u64,
+        sm_chiplet: u32,
+        line: u64,
+        kind: ReqKind,
+    ) -> u64 {
+        let owner = self.owner_of(line, sm_chiplet);
+        let remote = owner != sm_chiplet;
+        let dom = &mut self.domains[owner as usize];
+        let hop = f64::from(dom.noc.hop_latency());
+
+        // Request travel: local crossbar hop (+ chiplet crossing if remote).
+        let mut t = now as f64 + hop;
+        if remote {
+            let icn = self.icn.as_mut().expect("remote access implies MCM");
+            t += f64::from(icn.crossing_latency());
+        }
+
+        // Slice port (camping point). The slice index is hashed once and
+        // reused for the tag lookup below.
+        let slice = dom.llc.slice_of(line);
+        let occupancy = if kind == ReqKind::Atomic {
+            ATOMIC_OCCUPANCY
+        } else {
+            SLICE_OCCUPANCY
+        };
+        let start = dom.slice_free[slice as usize].max(t);
+        dom.slice_free[slice as usize] = start + occupancy;
+        let tag_done = start + f64::from(self.cfg.llc_latency);
+
+        // Tag lookup; eager fill with an in-flight merge map for timing.
+        let is_write = kind == ReqKind::Store;
+        let line_bytes = self.cfg.line_bytes;
+        let result = dom.llc.access_at(slice, line, is_write);
+        self.stats.llc_accesses += 1;
+        let data_at_llc = if result.is_hit() {
+            match dom.pending.fill_after(line, now) {
+                Some(fill) => fill as f64,
+                None => tag_done,
+            }
+        } else {
+            self.stats.llc_misses += 1;
+            if let Some(victim) = result.evicted() {
+                if victim.dirty {
+                    dom.dram
+                        .write_back(tag_done as u64, victim.line_addr, line_bytes);
+                    self.stats.dram_bytes += u64::from(line_bytes);
+                }
+            }
+            let fill = dom.dram.read(tag_done as u64, line, line_bytes);
+            self.stats.dram_bytes += u64::from(line_bytes);
+            dom.pending.insert(line, fill, now);
+            fill as f64
+        };
+
+        // Response travel: bisection bandwidth + hop (+ chiplet crossing).
+        let payload = if kind == ReqKind::Atomic {
+            ATOMIC_BYTES
+        } else {
+            line_bytes
+        };
+        let eff = ((f64::from(payload) * BISECTION_FRACTION) as u32).max(1);
+        let mut data_at_sm = dom.noc.traverse(data_at_llc, eff);
+        if remote {
+            let icn = self.icn.as_mut().expect("remote access implies MCM");
+            data_at_sm = data_at_sm.max(icn.traverse(data_at_llc, owner, sm_chiplet, payload));
+        }
+        (data_at_sm.ceil() as u64).max(now + 1)
+    }
+}

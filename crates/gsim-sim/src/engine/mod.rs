@@ -1,0 +1,764 @@
+//! The cycle-level simulation engine.
+//!
+//! One engine serves both monolithic GPUs and multi-chiplet (MCM) GPUs: a
+//! monolithic GPU is a single memory *domain* (crossbar + sliced LLC +
+//! DRAM); an MCM GPU is one domain per chiplet plus an inter-chiplet
+//! network and first-touch page placement.
+//!
+//! The engine advances one cycle at a time while any SM can issue, and
+//! jumps directly to the next warp wake-up when none can — memory-bound
+//! phases therefore cost little simulation time, exactly like the
+//! event-driven cores of production simulators.
+//!
+//! Every cycle is executed in two phases (DESIGN.md §10):
+//!
+//! * **Phase A** (parallelisable): each SM independently drains its wake
+//!   heap, picks a warp and issues at most one instruction, staging any
+//!   shared-memory-system work in its [`sm::LaneOut`].
+//! * **Phase B** (always serial, ascending SM index): staged requests are
+//!   applied to the shared [`memsys::MemDomain`]s, CTA completions drive
+//!   dispatch and kernel sequencing, and the cycle's control-flow decision
+//!   (advance, jump, finish) is made.
+//!
+//! Because phase A touches only per-SM state and phase B runs in a fixed
+//! order on one thread, the simulation's results are bit-identical for
+//! any [`GpuConfig::sim_threads`] value.
+
+mod memsys;
+mod shard;
+mod sm;
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gsim_mem::MshrOutcome;
+use gsim_noc::ChipletInterconnect;
+use gsim_trace::{Workload, WorkloadModel};
+
+use crate::chiplet::ChipletConfig;
+use crate::config::GpuConfig;
+use crate::stats::SimStats;
+use memsys::{MemDomain, ReqKind};
+use sm::{LaneParams, LineKind, Sm, WarpCtx};
+
+/// Mutable access to every SM by global index, regardless of whether the
+/// SMs live in one `Vec` (serial) or are spread over shard mutexes
+/// (parallel). Phase B is written against this so both execution paths
+/// share one code path — the determinism argument in one place.
+trait SmPool<S> {
+    fn n_sms(&self) -> usize;
+    fn sm_mut(&mut self, idx: usize) -> &mut Sm<S>;
+}
+
+impl<S> SmPool<S> for Vec<Sm<S>> {
+    fn n_sms(&self) -> usize {
+        self.len()
+    }
+
+    fn sm_mut(&mut self, idx: usize) -> &mut Sm<S> {
+        &mut self[idx]
+    }
+}
+
+/// Phase B's verdict on how the simulation proceeds.
+enum CycleOutcome {
+    /// Continue at this cycle (either `now + 1` or a jump target).
+    Advance(u64),
+    /// The simulation is over; the final cycle count is attached.
+    Done(u64),
+}
+
+/// Everything the engine owns *besides* the per-SM lanes: configuration,
+/// the shared memory domains, kernel sequencing and statistics. During a
+/// parallel run this stays on the coordinating thread; worker threads see
+/// only their SM shard.
+struct EngineCore<'wl, W: WorkloadModel> {
+    cfg: GpuConfig,
+    wl: &'wl W,
+    domains: Vec<MemDomain>,
+    icn: Option<ChipletInterconnect>,
+    page_owner: HashMap<u64, u32>,
+    page_shift: u32,
+    // kernel sequencing
+    kernel_idx: usize,
+    next_cta: u32,
+    ctas_in_flight: u32,
+    dispatch_age: u64,
+    /// Instruction milestones bounding the sustained-IPC window.
+    milestone_10: u64,
+    milestone_90: u64,
+    /// Cycle at which the current kernel started (for per-kernel cycles).
+    kernel_start_cycle: u64,
+    stats: SimStats,
+}
+
+/// The GPU timing simulator.
+///
+/// Create one per (configuration, workload) pair and call
+/// [`Simulator::run`]; the simulator is deterministic for a given workload
+/// seed — including across [`GpuConfig::sim_threads`] settings, which only
+/// change how the host work is scheduled.
+pub struct Simulator<'wl, W: WorkloadModel = Workload> {
+    core: EngineCore<'wl, W>,
+    sms: Vec<Sm<W::Stream>>,
+}
+
+impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
+    /// Creates a monolithic-GPU simulation of `wl` on `cfg`. `wl` may be
+    /// a synthetic [`Workload`] or a recorded
+    /// [`TracedWorkload`](gsim_trace::TracedWorkload).
+    pub fn new(cfg: GpuConfig, wl: &'wl W) -> Self {
+        let sms = (0..cfg.n_sms).map(|_| Sm::new(&cfg, 0)).collect();
+        let domains = vec![MemDomain::new(&cfg)];
+        Self {
+            core: EngineCore {
+                domains,
+                icn: None,
+                page_owner: HashMap::new(),
+                page_shift: 5,
+                kernel_idx: 0,
+                next_cta: 0,
+                ctas_in_flight: 0,
+                dispatch_age: 0,
+                milestone_10: wl.approx_warp_instrs() / 10,
+                milestone_90: wl.approx_warp_instrs() * 9 / 10,
+                kernel_start_cycle: 0,
+                stats: SimStats::default(),
+                cfg,
+                wl,
+            },
+            sms,
+        }
+    }
+
+    /// Creates a multi-chiplet simulation of `wl` on `mcm` (Section VII.D):
+    /// one memory domain per chiplet, first-touch page placement, and a
+    /// bandwidth-limited inter-chiplet network for remote accesses.
+    pub fn new_mcm(mcm: &ChipletConfig, wl: &'wl W) -> Self {
+        let per = &mcm.chiplet;
+        let n_chiplets = mcm.n_chiplets;
+        let total_sms = per.n_sms * n_chiplets;
+        let sms = (0..total_sms)
+            .map(|i| Sm::new(per, i / per.n_sms))
+            .collect();
+        let domains = (0..n_chiplets).map(|_| MemDomain::new(per)).collect();
+        let mut cfg = per.clone();
+        cfg.n_sms = total_sms;
+        Self {
+            core: EngineCore {
+                domains,
+                icn: Some(ChipletInterconnect::from_gbs(
+                    n_chiplets,
+                    mcm.interchiplet_gbs_per_chiplet,
+                    per.sm_clock_ghz,
+                    mcm.interchiplet_latency,
+                )),
+                page_owner: HashMap::new(),
+                page_shift: mcm.page_lines.trailing_zeros(),
+                kernel_idx: 0,
+                next_cta: 0,
+                ctas_in_flight: 0,
+                dispatch_age: 0,
+                milestone_10: wl.approx_warp_instrs() / 10,
+                milestone_90: wl.approx_warp_instrs() * 9 / 10,
+                kernel_start_cycle: 0,
+                stats: SimStats::default(),
+                cfg,
+                wl,
+            },
+            sms,
+        }
+    }
+
+    /// The effective configuration (for MCM runs, the per-chiplet config
+    /// with `n_sms` set to the system total).
+    pub fn config(&self) -> &GpuConfig {
+        &self.core.cfg
+    }
+
+    /// Runs the workload to completion and returns the statistics.
+    ///
+    /// With `sim_threads > 1` the per-SM phase of each cycle is sharded
+    /// across that many execution contexts (hence `W::Stream: Send`); the
+    /// results are bit-identical to the serial run either way.
+    pub fn run(mut self) -> SimStats
+    where
+        W::Stream: Send,
+    {
+        let wall = Instant::now();
+        let threads = (self.core.cfg.sim_threads.max(1) as usize).min(self.sms.len().max(1));
+        self.core.dispatch_round_robin(&mut self.sms);
+        let mut stats = if threads <= 1 {
+            run_serial(self.core, self.sms)
+        } else {
+            shard::run_sharded(self.core, self.sms, threads)
+        };
+        stats.sim_wall_seconds = wall.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+/// The serial driver: both phases inline on the calling thread.
+fn run_serial<W: WorkloadModel>(
+    mut core: EngineCore<'_, W>,
+    mut sms: Vec<Sm<W::Stream>>,
+) -> SimStats {
+    let params = LaneParams::from_cfg(&core.cfg);
+    let n_sms = sms.len();
+    let mut now = 0u64;
+    loop {
+        for sm in sms.iter_mut() {
+            sm.phase_a(now, &params);
+        }
+        match core.phase_b(&mut sms, now) {
+            CycleOutcome::Advance(t) => now = t,
+            CycleOutcome::Done(t) => {
+                now = t;
+                break;
+            }
+        }
+    }
+    core.finish(now, n_sms)
+}
+
+impl<W: WorkloadModel> EngineCore<'_, W> {
+    /// `(n_ctas, threads_per_cta)` of the kernel currently dispatching.
+    fn cur_grid(&self) -> (u32, u32) {
+        self.wl.grid(self.kernel_idx)
+    }
+
+    /// Dispatches CTAs of the current kernel round-robin across all SMs
+    /// (Table III: round-robin CTA scheduling), used at kernel launch.
+    fn dispatch_round_robin<P: SmPool<W::Stream>>(&mut self, pool: &mut P) {
+        loop {
+            let mut progress = false;
+            for i in 0..pool.n_sms() {
+                if self.try_dispatch_one(pool, i) {
+                    progress = true;
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// Dispatches at most one CTA of the current kernel onto `sm_idx`;
+    /// returns whether one was placed.
+    fn try_dispatch_one<P: SmPool<W::Stream>>(&mut self, pool: &mut P, sm_idx: usize) -> bool {
+        let kernel_idx = self.kernel_idx;
+        if kernel_idx >= self.wl.n_kernels() {
+            return false;
+        }
+        let (n_ctas, threads_per_cta) = self.cur_grid();
+        let warps_per_cta = self.wl.warps_per_cta(kernel_idx);
+        let max_ctas = self.cfg.ctas_per_sm(threads_per_cta);
+        if self.next_cta >= n_ctas {
+            return false;
+        }
+        {
+            let sm = pool.sm_mut(sm_idx);
+            if sm.cta_remaining.len() >= max_ctas as usize
+                || (sm.free_slots.len() as u32) < warps_per_cta
+            {
+                return false;
+            }
+        }
+        let cta = self.next_cta;
+        self.next_cta += 1;
+        self.ctas_in_flight += 1;
+        for w in 0..warps_per_cta {
+            let stream = self.wl.warp_stream(kernel_idx, cta, w);
+            self.dispatch_age += 1;
+            let age = self.dispatch_age;
+            let sm = pool.sm_mut(sm_idx);
+            let slot = sm.free_slots.pop().expect("checked free slots");
+            sm.warps[slot as usize] = Some(WarpCtx {
+                stream,
+                pending_compute: 0,
+                cta,
+                age,
+            });
+            sm.live_warps += 1;
+            sm.insert_ready(slot);
+        }
+        pool.sm_mut(sm_idx).cta_remaining.insert(cta, warps_per_cta);
+        true
+    }
+
+    /// Global bookkeeping for one CTA that completed on `sm_idx` this
+    /// cycle: backfill dispatch, and advance the kernel sequence when the
+    /// grid has drained.
+    fn on_cta_completed<P: SmPool<W::Stream>>(&mut self, pool: &mut P, sm_idx: usize, now: u64) {
+        self.ctas_in_flight -= 1;
+        self.stats.ctas_executed += 1;
+        self.try_dispatch_one(pool, sm_idx);
+        if self.ctas_in_flight == 0 && self.next_cta >= self.cur_grid().0 {
+            // Kernel barrier reached: move to the next kernel.
+            self.stats.kernels_executed += 1;
+            self.stats.kernel_cycles.push(now - self.kernel_start_cycle);
+            self.kernel_start_cycle = now;
+            self.kernel_idx += 1;
+            self.next_cta = 0;
+            if self.kernel_idx < self.wl.n_kernels() {
+                self.dispatch_round_robin(pool);
+            }
+        }
+    }
+
+    /// The serial half of a cycle: applies every SM's staged phase-A
+    /// output to the shared state in ascending SM order, then decides how
+    /// the simulation proceeds. Must be called exactly once per cycle,
+    /// after every SM's `phase_a`.
+    fn phase_b<P: SmPool<W::Stream>>(&mut self, pool: &mut P, now: u64) -> CycleOutcome {
+        let n = pool.n_sms();
+        let l1_lat = u64::from(self.cfg.l1_latency);
+        let mut any_issue = false;
+        for i in 0..n {
+            // Per-SM counters accumulated without touching shared state.
+            let (completed, issued, live) = {
+                let sm = pool.sm_mut(i);
+                self.stats.warp_instrs += sm.out.warp_instrs;
+                self.stats.l1_accesses += sm.out.l1_accesses;
+                self.stats.l1_misses += sm.out.l1_misses;
+                (sm.out.completed_ctas, sm.out.issued, sm.out.live)
+            };
+            // CTA completions: dispatch backfill and kernel sequencing.
+            for _ in 0..completed {
+                self.on_cta_completed(pool, i, now);
+            }
+            // The staged memory instruction, applied in line order.
+            let sm = pool.sm_mut(i);
+            if let Some(mi) = sm.out.mem.take() {
+                let chiplet = sm.chiplet;
+                let mut wake = mi.base_wake;
+                for r in 0..sm.out.reqs.len() {
+                    let req = sm.out.reqs[r];
+                    match req.kind {
+                        LineKind::MissLoad => {
+                            if sm.mshr.is_full() {
+                                sm.mshr.complete_up_to(now);
+                            }
+                            let fill =
+                                self.mem_request(now + l1_lat, chiplet, req.line, ReqKind::Load);
+                            match sm.mshr.register(req.line, fill) {
+                                MshrOutcome::Allocated | MshrOutcome::Full => {
+                                    wake = wake.max(fill);
+                                }
+                                MshrOutcome::Merged(f) => {
+                                    // A merge cannot be slower than a re-fetch.
+                                    wake = wake.max(f.min(fill));
+                                }
+                            }
+                        }
+                        LineKind::Store => {
+                            let _ =
+                                self.mem_request(now + l1_lat, chiplet, req.line, ReqKind::Store);
+                        }
+                        LineKind::Direct(kind) => {
+                            let ready = self.mem_request(now, chiplet, req.line, kind);
+                            wake = wake.max(ready);
+                        }
+                    }
+                }
+                if mi.blocks {
+                    sm.blocked.push(Reverse((wake, mi.warp)));
+                } else {
+                    sm.insert_ready(mi.warp);
+                }
+            }
+            if issued {
+                any_issue = true;
+            } else if live {
+                self.stats.mem_stall_sm_cycles += 1;
+            } else {
+                self.stats.idle_sm_cycles += 1;
+            }
+        }
+        if self.stats.cycle_at_10pct == 0 && self.stats.warp_instrs >= self.milestone_10 {
+            self.stats.cycle_at_10pct = now + 1;
+        }
+        if self.stats.cycle_at_90pct == 0 && self.stats.warp_instrs >= self.milestone_90 {
+            self.stats.cycle_at_90pct = now + 1;
+            self.stats.warp_instrs_window = self.stats.warp_instrs - self.milestone_10;
+        }
+        if self.kernel_idx >= self.wl.n_kernels() {
+            return CycleOutcome::Done(now + 1);
+        }
+        if any_issue {
+            return CycleOutcome::Advance(now + 1);
+        }
+        // Nothing issued anywhere: jump to the next wake-up.
+        let mut next_wake: Option<u64> = None;
+        let mut any_ready = false;
+        for i in 0..n {
+            let sm = pool.sm_mut(i);
+            if let Some(&Reverse((t, _))) = sm.blocked.peek() {
+                next_wake = Some(next_wake.map_or(t, |m| m.min(t)));
+            }
+            if sm.has_ready() {
+                any_ready = true;
+            }
+        }
+        if any_ready {
+            // A kernel boundary inside this cycle made warps ready on SMs
+            // that had already issued their attempt; give them the next
+            // cycle.
+            return CycleOutcome::Advance(now + 1);
+        }
+        let Some(next_wake) = next_wake else {
+            // No ready warps, no blocked warps, nothing issued: completion.
+            return CycleOutcome::Done(now);
+        };
+        let dt = next_wake.saturating_sub(now + 1);
+        if dt > 0 {
+            for i in 0..n {
+                if pool.sm_mut(i).live_warps > 0 {
+                    self.stats.mem_stall_sm_cycles += dt;
+                } else {
+                    self.stats.idle_sm_cycles += dt;
+                }
+            }
+        }
+        CycleOutcome::Advance(next_wake)
+    }
+
+    /// Seals the statistics once the last cycle has run.
+    fn finish(mut self, now: u64, n_sms: usize) -> SimStats {
+        self.stats.cycles = now;
+        self.stats.total_sm_cycles = now * n_sms as u64;
+        self.stats.thread_instrs = self.stats.warp_instrs * 32;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec};
+
+    fn small_cfg(n_sms: u32) -> GpuConfig {
+        GpuConfig::paper_target(n_sms, MemScale::default())
+    }
+
+    fn sweep_workload(footprint_lines: u64, passes: u32, ctas: u32) -> Workload {
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes }, footprint_lines)
+            .compute_per_mem(1.5);
+        Workload::new("t", 9, vec![Kernel::new("k", ctas, 256, spec)])
+    }
+
+    /// Runs `wl` on `cfg` serially and with `sim_threads` in {2, 4} and
+    /// asserts bit-identical statistics — the tentpole's determinism
+    /// contract.
+    fn assert_thread_invariant(cfg: &GpuConfig, wl: &Workload) {
+        let serial = Simulator::new(cfg.clone(), wl).run();
+        for threads in [2u32, 4] {
+            let mut c = cfg.clone();
+            c.sim_threads = threads;
+            let parallel = Simulator::new(c, wl).run();
+            serial.assert_deterministic_eq(&parallel);
+        }
+    }
+
+    #[test]
+    fn compute_only_workload_reaches_full_issue_rate() {
+        let spec = PatternSpec::new(PatternKind::Streaming, 1)
+            .compute_per_mem(0.0)
+            .tail_compute(5_000);
+        let wl = Workload::new("c", 1, vec![Kernel::new("k", 96, 256, spec)]);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        // 8 SMs x 1 warp instr/cycle = up to 256 thread IPC.
+        assert!(
+            stats.ipc() > 0.9 * 256.0,
+            "compute-bound IPC {} should approach 256",
+            stats.ipc()
+        );
+        assert!(stats.f_mem() < 0.05);
+    }
+
+    #[test]
+    fn memory_bound_workload_stalls() {
+        let wl = sweep_workload(200_000, 2, 96);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_mem() > 0.2, "f_mem {} too low", stats.f_mem());
+        assert!(stats.mpki() > 1.0, "MPKI {}", stats.mpki());
+        assert!(stats.ipc() < 200.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = sweep_workload(20_000, 2, 48);
+        let a = Simulator::new(small_cfg(8), &wl).run();
+        let b = Simulator::new(small_cfg(8), &wl).run();
+        a.assert_deterministic_eq(&b);
+    }
+
+    #[test]
+    fn all_instructions_are_executed() {
+        let wl = sweep_workload(10_000, 2, 48);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.warp_instrs, wl.approx_warp_instrs());
+        assert_eq!(stats.ctas_executed, 48);
+        assert_eq!(stats.kernels_executed, 1);
+    }
+
+    #[test]
+    fn fitting_working_set_is_faster_than_thrashing() {
+        // Same instruction volume; one footprint fits the 8-SM LLC
+        // (2.125 MB / 8 = 2176 lines), one does not.
+        let fits = sweep_workload(1_500, 8, 48);
+        let thrash = sweep_workload(60_000, 8, 48);
+        let f = Simulator::new(small_cfg(8), &fits).run();
+        let t = Simulator::new(small_cfg(8), &thrash).run();
+        assert!(
+            f.ipc() > 1.5 * t.ipc() * (f.warp_instrs as f64 / t.warp_instrs as f64).min(1.0),
+            "fitting {} vs thrashing {}",
+            f.ipc(),
+            t.ipc()
+        );
+        assert!(f.mpki() < t.mpki() / 2.0);
+    }
+
+    #[test]
+    fn more_sms_with_proportional_resources_scale_throughput() {
+        let wl = sweep_workload(60_000, 3, 768);
+        let s8 = Simulator::new(small_cfg(8), &wl).run();
+        let s16 = Simulator::new(small_cfg(16), &wl).run();
+        let speedup = s16.ipc() / s8.ipc();
+        assert!(
+            (1.5..2.5).contains(&speedup),
+            "8->16 SM speedup {speedup} should be ~2 for a pre-cliff sweep"
+        );
+    }
+
+    #[test]
+    fn too_few_ctas_leave_sms_idle() {
+        // 4 CTAs round-robin onto an 8-SM machine: half the SMs idle.
+        let wl = sweep_workload(20_000, 4, 4);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_idle() > 0.3, "f_idle {}", stats.f_idle());
+    }
+
+    #[test]
+    fn round_robin_spreads_small_grids() {
+        // 8 CTAs on 8 SMs: one per SM, so no SM sits idle.
+        let wl = sweep_workload(20_000, 4, 8);
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert!(stats.f_idle() < 0.15, "f_idle {}", stats.f_idle());
+    }
+
+    #[test]
+    fn tiny_mid_kernel_does_not_end_the_run() {
+        // Regression: a kernel smaller than one SM's slot budget used to
+        // strand its freshly dispatched warps when the previous kernel's
+        // last warp retired mid-issue-phase, ending the simulation early.
+        let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
+        let wl = Workload::new(
+            "seq",
+            3,
+            vec![
+                Kernel::new("big1", 96, 256, spec()),
+                Kernel::new("tiny", 4, 256, spec()),
+                Kernel::new("big2", 96, 256, spec()),
+            ],
+        );
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.kernels_executed, 3);
+        assert_eq!(stats.ctas_executed, 196);
+        assert_eq!(stats.warp_instrs, wl.approx_warp_instrs());
+    }
+
+    #[test]
+    fn trace_replay_is_cycle_identical_to_execution_driven() {
+        // The trace-driven front-end (Accel-Sim's mode of operation) must
+        // reproduce the execution-driven run exactly.
+        let wl = sweep_workload(10_000, 2, 48);
+        let mut bytes = Vec::new();
+        gsim_trace::write_trace(&wl, &mut bytes).expect("trace serialises");
+        let traced = gsim_trace::TracedWorkload::read(&bytes[..]).expect("trace loads");
+        let a = Simulator::new(small_cfg(8), &wl).run();
+        let b = Simulator::new(small_cfg(8), &traced).run();
+        a.assert_deterministic_eq(&b);
+    }
+
+    #[test]
+    fn banked_dram_punishes_random_traffic_more_than_streams() {
+        let mut banked_cfg = small_cfg(8);
+        banked_cfg.dram_banks_per_mc = 16;
+        let stream = sweep_workload(60_000, 2, 96);
+        let random = {
+            let spec = PatternSpec::new(PatternKind::PointerChase, 60_000)
+                .mem_ops_per_warp(40)
+                .compute_per_mem(1.5);
+            Workload::new("rnd", 5, vec![Kernel::new("k", 96, 256, spec)])
+        };
+        let slowdown = |wl: &Workload| {
+            let flat = Simulator::new(small_cfg(8), wl).run().ipc();
+            let banked = Simulator::new(banked_cfg.clone(), wl).run().ipc();
+            flat / banked
+        };
+        let s_stream = slowdown(&stream);
+        let s_random = slowdown(&random);
+        assert!(
+            s_random > s_stream,
+            "row-buffer locality must matter: stream x{s_stream:.2} vs random x{s_random:.2}"
+        );
+    }
+
+    #[test]
+    fn mcm_simulation_runs_and_scales_with_chiplets() {
+        use crate::chiplet::ChipletConfig;
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 60_000).compute_per_mem(2.0);
+        let kernel = Kernel::new("k", 1536, 256, spec);
+        let wl2 = Workload::new("m2", 11, vec![kernel.clone()]);
+        let mcm2 = ChipletConfig::paper_mcm(2, MemScale::default());
+        let mcm4 = ChipletConfig::paper_mcm(4, MemScale::default());
+        let s2 = Simulator::new_mcm(&mcm2, &wl2).run();
+        let s4 = Simulator::new_mcm(&mcm4, &wl2).run();
+        assert_eq!(s2.warp_instrs, wl2.approx_warp_instrs());
+        assert!(
+            s4.ipc() > 1.3 * s2.ipc(),
+            "more chiplets must help: {} -> {}",
+            s2.ipc(),
+            s4.ipc()
+        );
+    }
+
+    #[test]
+    fn mcm_is_deterministic() {
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::PointerChase, 20_000)
+            .mem_ops_per_warp(10)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("m", 12, vec![Kernel::new("k", 512, 256, spec)]);
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let a = Simulator::new_mcm(&mcm, &wl).run();
+        let b = Simulator::new_mcm(&mcm, &wl).run();
+        a.assert_deterministic_eq(&b);
+    }
+
+    #[test]
+    fn monolithic_beats_equal_size_mcm_on_shared_data() {
+        // Remote first-touch traffic through the 900 GB/s inter-chiplet
+        // links must cost something relative to a monolithic chip with
+        // the same SM count and aggregate resources.
+        use crate::chiplet::ChipletConfig;
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 120_000).compute_per_mem(1.0);
+        let kernel = Kernel::new("k", 1536, 256, spec);
+        let wl = Workload::new("mono-vs-mcm", 13, vec![kernel.clone(), kernel]);
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let mono = GpuConfig {
+            n_sms: 128,
+            sm_clock_ghz: mcm.chiplet.sm_clock_ghz,
+            llc_bytes_total: mcm.chiplet.llc_bytes_total * 2,
+            llc_slices: mcm.chiplet.llc_slices * 2,
+            noc_gbs: mcm.chiplet.noc_gbs * 2.0,
+            n_mcs: mcm.chiplet.n_mcs * 2,
+            ..GpuConfig::paper_target(128, MemScale::default())
+        };
+        let s_mcm = Simulator::new_mcm(&mcm, &wl).run();
+        let s_mono = Simulator::new(mono, &wl).run();
+        assert!(
+            s_mono.ipc() > s_mcm.ipc(),
+            "inter-chiplet crossing must cost: mono {} vs mcm {}",
+            s_mono.ipc(),
+            s_mcm.ipc()
+        );
+    }
+
+    #[test]
+    fn kernels_execute_sequentially() {
+        let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
+        let wl = Workload::new(
+            "seq",
+            3,
+            vec![
+                Kernel::new("k0", 48, 256, spec()),
+                Kernel::new("k1", 48, 256, spec()),
+            ],
+        );
+        let stats = Simulator::new(small_cfg(8), &wl).run();
+        assert_eq!(stats.kernels_executed, 2);
+        assert_eq!(stats.ctas_executed, 96);
+    }
+
+    // ---- sim_threads determinism contract (DESIGN.md §10) ----
+
+    #[test]
+    fn sim_threads_bit_identical_8sm() {
+        let wl = sweep_workload(20_000, 2, 48);
+        assert_thread_invariant(&small_cfg(8), &wl);
+    }
+
+    #[test]
+    fn sim_threads_bit_identical_8sm_pointer_chase() {
+        let spec = PatternSpec::new(PatternKind::PointerChase, 30_000)
+            .mem_ops_per_warp(16)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("pc", 7, vec![Kernel::new("k", 64, 256, spec)]);
+        assert_thread_invariant(&small_cfg(8), &wl);
+    }
+
+    #[test]
+    fn sim_threads_bit_identical_64sm_memory_bound() {
+        let wl = sweep_workload(150_000, 1, 512);
+        assert_thread_invariant(&small_cfg(64), &wl);
+    }
+
+    #[test]
+    fn sim_threads_bit_identical_multi_kernel_boundaries() {
+        // Kernel boundaries mid-run exercise the dispatch/kernel-advance
+        // path of the serial apply phase.
+        let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
+        let wl = Workload::new(
+            "seq",
+            3,
+            vec![
+                Kernel::new("big1", 96, 256, spec()),
+                Kernel::new("tiny", 4, 256, spec()),
+                Kernel::new("big2", 96, 256, spec()),
+            ],
+        );
+        assert_thread_invariant(&small_cfg(8), &wl);
+    }
+
+    #[test]
+    fn sim_threads_bit_identical_mcm() {
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::PointerChase, 20_000)
+            .mem_ops_per_warp(10)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("m", 12, vec![Kernel::new("k", 512, 256, spec)]);
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let serial = Simulator::new_mcm(&mcm, &wl).run();
+        for threads in [2u32, 4] {
+            let mut m = mcm.clone();
+            m.chiplet.sim_threads = threads;
+            let parallel = Simulator::new_mcm(&m, &wl).run();
+            serial.assert_deterministic_eq(&parallel);
+        }
+    }
+
+    #[test]
+    fn sim_threads_beyond_sm_count_is_clamped() {
+        let wl = sweep_workload(10_000, 1, 24);
+        let serial = Simulator::new(small_cfg(8), &wl).run();
+        let mut c = small_cfg(8);
+        c.sim_threads = 64; // clamps to 8 execution contexts
+        let parallel = Simulator::new(c, &wl).run();
+        serial.assert_deterministic_eq(&parallel);
+    }
+
+    #[test]
+    fn sim_threads_zero_selects_serial_path() {
+        let wl = sweep_workload(5_000, 1, 16);
+        let serial = Simulator::new(small_cfg(8), &wl).run();
+        let mut c = small_cfg(8);
+        c.sim_threads = 0;
+        let zero = Simulator::new(c, &wl).run();
+        serial.assert_deterministic_eq(&zero);
+    }
+}

@@ -1,0 +1,192 @@
+//! The intra-simulation thread pool: SMs sharded across worker threads.
+//!
+//! Each cycle runs in two phases (DESIGN.md §10): workers (plus the main
+//! thread) run phase A on disjoint SM shards in parallel, then the main
+//! thread alone runs phase B over all SMs in ascending index. A
+//! lightweight epoch barrier — one release per cycle, one gather —
+//! synchronises the handoff; shard mutexes are uncontended by
+//! construction (a worker locks its shard only between "go" and "done",
+//! the main thread only after every "done").
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use gsim_trace::WorkloadModel;
+
+use super::sm::{LaneParams, Sm};
+use super::{CycleOutcome, EngineCore, SmPool};
+use crate::stats::SimStats;
+
+/// Spin briefly, then politely: phase A is microseconds long, so the
+/// common case resolves within the spin budget; on oversubscribed hosts
+/// the yield keeps waiters from starving the workers they wait for.
+fn spin_wait(mut ready: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while !ready() {
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Shared coordination state between the main thread and the workers.
+struct Control {
+    /// Cycle epoch; the main thread bumps it to release the workers.
+    epoch: AtomicU64,
+    /// Cumulative per-worker completions; epoch * n_workers when a cycle's
+    /// phase A has fully finished.
+    done: AtomicU64,
+    /// Current simulation cycle, published before each epoch bump.
+    now: AtomicU64,
+    /// Tells released workers to exit instead of running a cycle.
+    stop: AtomicBool,
+    /// Set (via drop guard) by any worker that panics, so the main thread
+    /// stops coordinating and lets the scope propagate the panic.
+    failed: AtomicBool,
+}
+
+/// Sets `failed` if its thread unwinds; armed for a worker's whole life.
+struct PanicSentinel<'a>(&'a AtomicBool);
+
+impl Drop for PanicSentinel<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// All SMs during a parallel run: the main thread's own shard plus every
+/// worker shard, re-locked for the serial phase B. Global SM index `i`
+/// lives in shard `i / chunk` at offset `i % chunk`.
+struct ShardedPool<'a, 'g, S> {
+    chunk: usize,
+    total: usize,
+    main: &'a mut [Sm<S>],
+    guards: Vec<MutexGuard<'g, Vec<Sm<S>>>>,
+}
+
+impl<S> SmPool<S> for ShardedPool<'_, '_, S> {
+    fn n_sms(&self) -> usize {
+        self.total
+    }
+
+    fn sm_mut(&mut self, idx: usize) -> &mut Sm<S> {
+        let shard = idx / self.chunk;
+        let off = idx % self.chunk;
+        if shard == 0 {
+            &mut self.main[off]
+        } else {
+            &mut self.guards[shard - 1][off]
+        }
+    }
+}
+
+/// Runs the prepared simulation with SMs sharded over `threads` execution
+/// contexts (the calling thread plus `threads - 1` workers). Bit-identical
+/// to the serial path for any `threads`.
+pub(super) fn run_sharded<W: WorkloadModel>(
+    mut core: EngineCore<'_, W>,
+    sms: Vec<Sm<W::Stream>>,
+    threads: usize,
+) -> SimStats
+where
+    W::Stream: Send,
+{
+    let n_sms = sms.len();
+    let chunk = n_sms.div_ceil(threads);
+    let mut shards: Vec<Vec<Sm<W::Stream>>> = Vec::with_capacity(threads.saturating_sub(1));
+    let mut iter = sms.into_iter();
+    let mut main_sms: Vec<Sm<W::Stream>> = iter.by_ref().take(chunk).collect();
+    loop {
+        let shard: Vec<Sm<W::Stream>> = iter.by_ref().take(chunk).collect();
+        if shard.is_empty() {
+            break;
+        }
+        shards.push(shard);
+    }
+    let worker_shards: Vec<Mutex<Vec<Sm<W::Stream>>>> =
+        shards.into_iter().map(Mutex::new).collect();
+    let n_workers = worker_shards.len() as u64;
+    let params = LaneParams::from_cfg(&core.cfg);
+    let ctrl = Control {
+        epoch: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        now: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+    };
+
+    let mut final_now = 0u64;
+    std::thread::scope(|scope| {
+        for shard in &worker_shards {
+            let ctrl = &ctrl;
+            let params = &params;
+            scope.spawn(move || {
+                let _sentinel = PanicSentinel(&ctrl.failed);
+                let mut seen = 0u64;
+                loop {
+                    spin_wait(|| ctrl.epoch.load(Ordering::Acquire) > seen);
+                    seen += 1;
+                    if ctrl.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = ctrl.now.load(Ordering::Relaxed);
+                    {
+                        let mut sms = shard.lock().expect("worker shard lock");
+                        for sm in sms.iter_mut() {
+                            sm.phase_a(now, params);
+                        }
+                    }
+                    ctrl.done.fetch_add(1, Ordering::Release);
+                }
+            });
+        }
+
+        let mut now = 0u64;
+        let mut epoch = 0u64;
+        loop {
+            // Release the workers on this cycle, take our own shard.
+            epoch += 1;
+            ctrl.now.store(now, Ordering::Relaxed);
+            ctrl.epoch.store(epoch, Ordering::Release);
+            for sm in main_sms.iter_mut() {
+                sm.phase_a(now, &params);
+            }
+            // Gather; a worker panic aborts coordination and re-raises
+            // through the scope join below.
+            let target = epoch * n_workers;
+            spin_wait(|| {
+                ctrl.done.load(Ordering::Acquire) >= target || ctrl.failed.load(Ordering::Acquire)
+            });
+            if ctrl.failed.load(Ordering::Acquire) {
+                break;
+            }
+            // Serial apply over all SMs, ascending.
+            let mut pool = ShardedPool {
+                chunk,
+                total: n_sms,
+                main: &mut main_sms,
+                guards: worker_shards
+                    .iter()
+                    .map(|m| m.lock().expect("apply-phase shard lock"))
+                    .collect(),
+            };
+            match core.phase_b(&mut pool, now) {
+                CycleOutcome::Advance(t) => now = t,
+                CycleOutcome::Done(t) => {
+                    now = t;
+                    break;
+                }
+            }
+        }
+        final_now = now;
+        ctrl.stop.store(true, Ordering::Release);
+        ctrl.epoch.store(epoch + 1, Ordering::Release);
+    });
+
+    core.finish(final_now, n_sms)
+}

@@ -1,0 +1,329 @@
+//! Per-SM state and the parallel per-SM half of a cycle (phase A).
+//!
+//! Everything in this module touches exactly one SM: the warp contexts,
+//! the GTO scheduler queues, the L1 tag store and the MSHR file. That is
+//! what makes phase A safe to run on worker threads — an SM's phase A
+//! reads and writes only its own [`Sm`], and records everything that
+//! needs the *shared* memory system in its [`LaneOut`] for the serial
+//! apply phase (DESIGN.md §10).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use gsim_mem::{Cache, CacheGeometry, Mshr};
+use gsim_trace::{MemAccess, MemSpace, Op, WarpStream};
+
+use super::memsys::ReqKind;
+use crate::config::GpuConfig;
+
+/// The per-SM configuration slice phase A needs; `Copy` so worker threads
+/// can share one instance by reference.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct LaneParams {
+    pub l1_latency: u64,
+}
+
+impl LaneParams {
+    pub(super) fn from_cfg(cfg: &GpuConfig) -> Self {
+        Self {
+            l1_latency: u64::from(cfg.l1_latency),
+        }
+    }
+}
+
+/// How one staged line request must be applied to the shared memory
+/// system in phase B.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum LineKind {
+    /// A cached global load that missed the L1: request at `now + l1_lat`,
+    /// then register the fill with this SM's MSHR file.
+    MissLoad,
+    /// A write-through store: fire-and-forget at `now + l1_lat`.
+    Store,
+    /// An L1-bypassing access (atomics, non-global loads): request at
+    /// `now` and wait for the response.
+    Direct(ReqKind),
+}
+
+/// One cache line the issuing warp sends into the shared memory system.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct LineReq {
+    pub line: u64,
+    pub kind: LineKind,
+}
+
+/// The memory instruction (at most one per SM per cycle) staged by phase
+/// A for resolution in phase B.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct MemIssue {
+    /// The issuing warp; phase B re-queues it once its wake cycle is known.
+    pub warp: u32,
+    /// Wake lower bound from per-SM effects alone (L1 hits, `now + 1`).
+    pub base_wake: u64,
+    /// Whether the warp blocks until the response (loads/atomics) or
+    /// continues immediately (stores).
+    pub blocks: bool,
+}
+
+/// Everything one SM's phase A hands to the serial phase B. Owned by the
+/// SM and reused across cycles so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(super) struct LaneOut {
+    /// Did this SM issue an instruction this cycle?
+    pub issued: bool,
+    /// Did this SM still hold live warps after its issue attempt?
+    pub live: bool,
+    /// Warp instructions issued (0 or 1).
+    pub warp_instrs: u64,
+    /// L1 lookups performed.
+    pub l1_accesses: u64,
+    /// L1 misses taken.
+    pub l1_misses: u64,
+    /// CTAs that fully retired on this SM this cycle.
+    pub completed_ctas: u32,
+    /// The staged memory instruction, if one issued.
+    pub mem: Option<MemIssue>,
+    /// Line requests of the staged memory instruction, in program order.
+    pub reqs: Vec<LineReq>,
+}
+
+impl LaneOut {
+    fn reset(&mut self) {
+        self.issued = false;
+        self.live = false;
+        self.warp_instrs = 0;
+        self.l1_accesses = 0;
+        self.l1_misses = 0;
+        self.completed_ctas = 0;
+        self.mem = None;
+        self.reqs.clear();
+    }
+}
+
+pub(super) struct WarpCtx<S> {
+    pub stream: S,
+    pub pending_compute: u16,
+    pub cta: u32,
+    pub age: u64,
+}
+
+pub(super) struct Sm<S> {
+    pub l1: Cache,
+    pub mshr: Mshr,
+    pub warps: Vec<Option<WarpCtx<S>>>,
+    /// Ready warp indices sorted by age descending (back = oldest, so the
+    /// GTO fallback pick is a `pop`). The greedy warp is *not* kept here
+    /// while it is issuing batched compute — see `greedy_stashed`.
+    pub ready: Vec<u32>,
+    pub blocked: BinaryHeap<Reverse<(u64, u32)>>,
+    pub last_issued: Option<u32>,
+    /// True when `last_issued` re-queued via the compute fast path and is
+    /// parked outside `ready`. GTO re-picks it first regardless of age, so
+    /// keeping it out of the sorted vector skips an insert/search/remove
+    /// round-trip per compute instruction — the issue phase's hot path.
+    pub greedy_stashed: bool,
+    pub free_slots: Vec<u32>,
+    /// CTA id -> warps still running, for resident CTAs.
+    pub cta_remaining: HashMap<u32, u32>,
+    pub live_warps: u32,
+    pub chiplet: u32,
+    /// Phase A -> phase B handoff for the current cycle.
+    pub out: LaneOut,
+}
+
+impl<S> Sm<S> {
+    pub(super) fn new(cfg: &GpuConfig, chiplet: u32) -> Self {
+        let n = cfg.warps_per_sm;
+        Self {
+            l1: Cache::new(CacheGeometry::new(
+                cfg.l1_bytes,
+                cfg.l1_ways,
+                cfg.line_bytes,
+            )),
+            mshr: Mshr::new(cfg.l1_mshrs as usize),
+            warps: (0..n).map(|_| None).collect(),
+            ready: Vec::with_capacity(n as usize),
+            blocked: BinaryHeap::with_capacity(n as usize),
+            last_issued: None,
+            greedy_stashed: false,
+            free_slots: (0..n).rev().collect(),
+            cta_remaining: HashMap::new(),
+            live_warps: 0,
+            chiplet,
+            out: LaneOut::default(),
+        }
+    }
+
+    pub(super) fn insert_ready(&mut self, warp: u32) {
+        let age = self.warps[warp as usize].as_ref().expect("live warp").age;
+        let pos = self
+            .ready
+            .partition_point(|&w| self.warps[w as usize].as_ref().expect("live").age > age);
+        self.ready.insert(pos, warp);
+    }
+
+    /// Whether any warp could issue next cycle without a wake-up.
+    pub(super) fn has_ready(&self) -> bool {
+        !self.ready.is_empty() || self.greedy_stashed
+    }
+
+    /// Greedy-Then-Oldest: keep issuing the last-issued warp while it is
+    /// ready; otherwise pick the oldest ready warp.
+    fn pick(&mut self) -> Option<u32> {
+        if let Some(w) = self.last_issued {
+            if self.greedy_stashed {
+                self.greedy_stashed = false;
+                return Some(w);
+            }
+            if let Some(pos) = self.ready.iter().position(|&r| r == w) {
+                self.ready.remove(pos);
+                return Some(w);
+            }
+        }
+        self.ready.pop()
+    }
+
+    /// The per-SM half of warp retirement: releases the slot and the CTA
+    /// bookkeeping this SM owns, and reports a completed CTA (if any) for
+    /// phase B to turn into dispatches and kernel advances.
+    fn retire_local(&mut self, warp: u32) {
+        let ctx = self.warps[warp as usize]
+            .take()
+            .expect("retiring a live warp");
+        self.free_slots.push(warp);
+        self.live_warps -= 1;
+        if self.last_issued == Some(warp) {
+            self.last_issued = None;
+            self.greedy_stashed = false;
+        }
+        let remaining = self
+            .cta_remaining
+            .get_mut(&ctx.cta)
+            .expect("warp belongs to a resident CTA");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.cta_remaining.remove(&ctx.cta);
+            self.out.completed_ctas += 1;
+        }
+    }
+}
+
+impl<S: WarpStream> Sm<S> {
+    /// One SM's share of a cycle: drain due wake-ups, then try to issue
+    /// one instruction. Touches only this SM; the staged result lands in
+    /// `self.out`.
+    pub(super) fn phase_a(&mut self, now: u64, p: &LaneParams) {
+        self.out.reset();
+        // Wake phase.
+        while let Some(&Reverse((t, w))) = self.blocked.peek() {
+            if t <= now {
+                self.blocked.pop();
+                self.insert_ready(w);
+            } else {
+                break;
+            }
+        }
+        // Issue phase.
+        while let Some(warp) = self.pick() {
+            // Fast path: batched compute.
+            {
+                let ctx = self.warps[warp as usize]
+                    .as_mut()
+                    .expect("picked live warp");
+                if ctx.pending_compute > 0 {
+                    ctx.pending_compute -= 1;
+                    self.last_issued = Some(warp);
+                    self.greedy_stashed = true;
+                    self.out.warp_instrs += 1;
+                    self.out.issued = true;
+                    break;
+                }
+            }
+            let op = self.warps[warp as usize]
+                .as_mut()
+                .expect("picked live warp")
+                .stream
+                .next_op();
+            match op {
+                None => {
+                    // Warp retired; pick another warp this same cycle.
+                    self.retire_local(warp);
+                    continue;
+                }
+                Some(Op::Compute { n }) => {
+                    let ctx = self.warps[warp as usize].as_mut().expect("live");
+                    ctx.pending_compute = n - 1;
+                    self.last_issued = Some(warp);
+                    self.greedy_stashed = true;
+                    self.out.warp_instrs += 1;
+                    self.out.issued = true;
+                    break;
+                }
+                Some(op) => {
+                    let access = *op.mem().expect("memory op");
+                    self.stage_mem(warp, now, &op, &access, p);
+                    self.out.warp_instrs += 1;
+                    self.last_issued = Some(warp);
+                    self.out.issued = true;
+                    break;
+                }
+            }
+        }
+        self.out.live = self.live_warps > 0;
+    }
+
+    /// The per-SM part of issuing one memory op: L1 lookups and MSHR
+    /// probes now; every line that needs the shared memory system is
+    /// staged for phase B. The issuing warp is re-queued by phase B once
+    /// its wake cycle is known.
+    fn stage_mem(&mut self, warp: u32, now: u64, op: &Op, access: &MemAccess, p: &LaneParams) {
+        let kind = match op {
+            Op::Load(_) => ReqKind::Load,
+            Op::Store(_) => ReqKind::Store,
+            Op::Atomic(_) => ReqKind::Atomic,
+            Op::Compute { .. } => unreachable!("compute is not a memory op"),
+        };
+        let mut base_wake = now + 1;
+        for line in access.lines() {
+            match (kind, access.space) {
+                (ReqKind::Load, MemSpace::Global) => {
+                    // L1 lookup (write-through caches: loads only).
+                    self.out.l1_accesses += 1;
+                    let t0 = now + p.l1_latency;
+                    if self.l1.access(line, false).is_hit() {
+                        let ready = match self.mshr.pending_fill(line) {
+                            Some(fill) if fill > now => fill,
+                            _ => t0,
+                        };
+                        base_wake = base_wake.max(ready);
+                    } else {
+                        self.out.l1_misses += 1;
+                        self.out.reqs.push(LineReq {
+                            line,
+                            kind: LineKind::MissLoad,
+                        });
+                    }
+                }
+                (ReqKind::Store, _) => {
+                    // Write-through, no-write-allocate: straight to the LLC.
+                    self.out.reqs.push(LineReq {
+                        line,
+                        kind: LineKind::Store,
+                    });
+                }
+                _ => {
+                    // Atomics (and any bypassing access) skip the L1.
+                    self.out.reqs.push(LineReq {
+                        line,
+                        kind: LineKind::Direct(kind),
+                    });
+                }
+            }
+        }
+        self.out.mem = Some(MemIssue {
+            warp,
+            base_wake,
+            blocks: op.blocks_warp(),
+        });
+    }
+}

@@ -117,6 +117,78 @@ impl SimStats {
             self.llc_misses as f64 / self.llc_accesses as f64
         }
     }
+
+    /// Simulated cycles per wall-clock second — the simulator's own speed,
+    /// for perf tracking; 0 if wall-clock time was not recorded.
+    pub fn sim_cycles_per_second(&self) -> f64 {
+        if self.sim_wall_seconds > 0.0 {
+            self.cycles as f64 / self.sim_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Asserts that `self` and `other` agree on every *simulated* quantity,
+    /// ignoring host-side wall-clock measurements (`sim_wall_seconds`).
+    ///
+    /// This is the determinism contract of the engine: two runs of the same
+    /// (configuration, workload) pair — including runs with different
+    /// `sim_threads` — must satisfy it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the name of the first differing field.
+    pub fn assert_deterministic_eq(&self, other: &Self) {
+        // Exhaustive destructuring (no `..`): adding a SimStats field
+        // without deciding whether determinism covers it fails to compile.
+        let Self {
+            cycles: _,
+            warp_instrs: _,
+            thread_instrs: _,
+            llc_accesses: _,
+            llc_misses: _,
+            l1_accesses: _,
+            l1_misses: _,
+            dram_bytes: _,
+            mem_stall_sm_cycles: _,
+            idle_sm_cycles: _,
+            total_sm_cycles: _,
+            ctas_executed: _,
+            kernels_executed: _,
+            sim_wall_seconds: _,
+            cycle_at_10pct: _,
+            cycle_at_90pct: _,
+            warp_instrs_window: _,
+            kernel_cycles: _,
+        } = self;
+        macro_rules! check {
+            ($($field:ident),+ $(,)?) => {
+                $(assert_eq!(
+                    self.$field, other.$field,
+                    concat!("SimStats::", stringify!($field), " differs"),
+                );)+
+            };
+        }
+        check!(
+            cycles,
+            warp_instrs,
+            thread_instrs,
+            llc_accesses,
+            llc_misses,
+            l1_accesses,
+            l1_misses,
+            dram_bytes,
+            mem_stall_sm_cycles,
+            idle_sm_cycles,
+            total_sm_cycles,
+            ctas_executed,
+            kernels_executed,
+            cycle_at_10pct,
+            cycle_at_90pct,
+            warp_instrs_window,
+            kernel_cycles,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -165,7 +165,8 @@ fn cliff_detection_matches_definition() {
 }
 
 /// The simulator is deterministic: identical runs give identical
-/// statistics (modulo wall-clock time).
+/// statistics (modulo wall-clock time), and sharding the run over worker
+/// threads (`sim_threads`) changes nothing either.
 #[test]
 fn simulator_is_deterministic() {
     let mut rng = Rng64::seed_from_u64(0x5eed_0009);
@@ -178,11 +179,13 @@ fn simulator_is_deterministic() {
             .compute_per_mem(1.0);
         let wl = Workload::new("prop", seed, vec![Kernel::new("k", ctas, 256, spec)]);
         let cfg = GpuConfig::paper_target(8, MemScale::new(32));
-        let mut a = Simulator::new(cfg.clone(), &wl).run();
-        let mut b = Simulator::new(cfg, &wl).run();
-        a.sim_wall_seconds = 0.0;
-        b.sim_wall_seconds = 0.0;
-        assert_eq!(a, b);
+        let a = Simulator::new(cfg.clone(), &wl).run();
+        let b = Simulator::new(cfg.clone(), &wl).run();
+        a.assert_deterministic_eq(&b);
+        let mut sharded_cfg = cfg;
+        sharded_cfg.sim_threads = 3;
+        let c = Simulator::new(sharded_cfg, &wl).run();
+        a.assert_deterministic_eq(&c);
     }
 }
 
