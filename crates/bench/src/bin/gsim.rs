@@ -8,17 +8,20 @@
 //! gsim mrc <benchmark> [--scale D]
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
 //! gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]
+//! gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
 //! input matched to `--sms`); `sweep` simulates the whole 8–128-SM size
 //! ladder on a gsim-runner worker pool; `trace-dump`/`trace-run` exercise
 //! the trace-driven front-end; `mrc` prints the functional miss-rate
-//! curve with region labels.
+//! curve with region labels; `serve` runs the gsim-serve HTTP prediction
+//! service until `POST /v1/shutdown` arrives or stdin reaches EOF.
 //!
 //! `--sim-threads N` shards each simulation's per-SM phase over N threads
-//! (`--threads` parallelises *across* sweep jobs instead). Results are
-//! bit-identical for any N ≥ 1.
+//! (`--threads` parallelises *across* sweep jobs instead; under `serve`
+//! it sizes the HTTP worker pool). Results are bit-identical for any
+//! N ≥ 1.
 
 use std::fs::File;
 use std::process::exit;
@@ -37,7 +40,8 @@ fn usage() -> ! {
          [--threads N] [--weak] [--sim-threads N]\n  gsim mcm <benchmark> [--chiplets C] \
          [--scale D] [--sim-threads N]\n  \
          gsim mrc <benchmark> [--scale D]\n  gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
-         gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]"
+         gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]\n  \
+         gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--runner-threads N]"
     );
     exit(2)
 }
@@ -47,9 +51,12 @@ struct Flags {
     chiplets: u32,
     scale: MemScale,
     banked_dram: u32,
-    threads: usize,
+    threads: Option<usize>,
+    runner_threads: usize,
     sim_threads: u32,
     weak: bool,
+    addr: String,
+    cache_dir: Option<String>,
     output: Option<String>,
     positional: Vec<String>,
 }
@@ -60,9 +67,12 @@ fn parse(args: &[String]) -> Flags {
         chiplets: 4,
         scale: MemScale::default(),
         banked_dram: 0,
-        threads: 0,
+        threads: None,
+        runner_threads: 0,
         sim_threads: 1,
         weak: false,
+        addr: "127.0.0.1:8191".to_string(),
+        cache_dir: None,
         output: None,
         positional: Vec::new(),
     };
@@ -79,7 +89,8 @@ fn parse(args: &[String]) -> Flags {
             "--chiplets" => f.chiplets = num("--chiplets"),
             "--scale" => f.scale = MemScale::new(num("--scale")),
             "--banked-dram" => f.banked_dram = num("--banked-dram"),
-            "--threads" => f.threads = num("--threads") as usize,
+            "--threads" => f.threads = Some(num("--threads") as usize),
+            "--runner-threads" => f.runner_threads = num("--runner-threads") as usize,
             "--sim-threads" => {
                 f.sim_threads = num("--sim-threads");
                 if f.sim_threads == 0 {
@@ -88,6 +99,20 @@ fn parse(args: &[String]) -> Flags {
                 }
             }
             "--weak" => f.weak = true,
+            "--addr" => match it.next() {
+                Some(a) => f.addr = a.clone(),
+                None => {
+                    eprintln!("--addr takes HOST:PORT");
+                    exit(2)
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => f.cache_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--cache-dir takes a directory");
+                    exit(2)
+                }
+            },
             "-o" | "--output" => f.output = it.next().cloned(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
@@ -183,7 +208,7 @@ fn main() {
             let sim_threads = f.sim_threads;
             let sizes = [8u32, 16, 32, 64, 128];
             let runner = Runner::new(RunnerConfig {
-                threads: f.threads,
+                threads: f.threads.unwrap_or(0),
                 ..RunnerConfig::default()
             })
             .with_sink(ProgressReporter::new());
@@ -328,6 +353,73 @@ fn main() {
                 &format!("trace {} on {} SMs ({})", traced.name(), f.sms, f.scale),
                 &st,
             );
+        }
+        "serve" => {
+            use std::net::ToSocketAddrs;
+            use std::sync::Arc;
+
+            use gsim_serve::{PredictService, ServeConfig, Server, ServerConfig, ShutdownFlag};
+
+            // Flag validation failures mirror the usage() style: message + exit 2.
+            let threads = match f.threads {
+                Some(0) => {
+                    eprintln!("--threads must be >= 1");
+                    exit(2)
+                }
+                Some(n) => n,
+                None => 4,
+            };
+            if f.addr
+                .to_socket_addrs()
+                .map_or(true, |mut it| it.next().is_none())
+            {
+                eprintln!("--addr takes HOST:PORT, got {:?}", f.addr);
+                exit(2)
+            }
+            let shutdown = ShutdownFlag::new();
+            let service = PredictService::new(
+                ServeConfig {
+                    runner_threads: f.runner_threads,
+                    cache_capacity: 0,
+                    cache_dir: f.cache_dir.clone().map(Into::into),
+                },
+                shutdown.clone(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start prediction service: {e}");
+                exit(1)
+            });
+            let server = Server::bind(
+                &f.addr,
+                ServerConfig {
+                    threads,
+                    ..ServerConfig::default()
+                },
+                shutdown.clone(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind {}: {e}", f.addr);
+                exit(1)
+            });
+            match server.local_addr() {
+                Ok(local) => println!("gsim-serve listening on {local}"),
+                Err(_) => println!("gsim-serve listening on {}", f.addr),
+            }
+            // Without signal handling (no unsafe, no deps) the shutdown paths
+            // are `POST /v1/shutdown` and stdin reaching EOF — the latter lets
+            // a parent process stop us by closing our stdin.
+            {
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+                    shutdown.trigger();
+                });
+            }
+            if let Err(e) = server.serve(Arc::new(move |req| service.handle(req))) {
+                eprintln!("server error: {e}");
+                exit(1)
+            }
+            println!("gsim-serve shut down cleanly");
         }
         _ => usage(),
     }

@@ -160,12 +160,17 @@ pub struct Record {
 /// {
 ///   "schema": "gsim-tinybench-v1",
 ///   "fast_mode": false,
+///   "host_logical_cpus": 8,
 ///   "records": [
 ///     {"name": "g/b", "median_ns": 12, "sim_threads": 1,
 ///      "cycles_per_second": 3.1e6}
 ///   ]
 /// }
 /// ```
+///
+/// `host_logical_cpus` records the machine the numbers came from —
+/// timings from hosts with different logical-CPU counts are not
+/// comparable, and the field makes such diffs self-explaining.
 pub struct JsonReport {
     path: PathBuf,
     records: Vec<Record>,
@@ -202,19 +207,24 @@ impl JsonReport {
         });
     }
 
-    /// The JSON document (hand-rolled: the workspace has no serde).
+    /// The JSON document (pretty-printed by hand; string escaping via
+    /// the shared `gsim-json` implementation).
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"schema\": \"gsim-tinybench-v1\",\n");
         out.push_str(&format!("  \"fast_mode\": {},\n", fast_mode()));
+        out.push_str(&format!(
+            "  \"host_logical_cpus\": {},\n",
+            host_logical_cpus()
+        ));
         out.push_str("  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"median_ns\": {}, \"sim_threads\": {}, \
+                "\n    {{\"name\": {}, \"median_ns\": {}, \"sim_threads\": {}, \
                  \"cycles_per_second\": {}}}",
-                json_escape(&r.name),
+                gsim_json::json_string(&r.name),
                 r.median_ns,
                 r.sim_threads,
                 match r.cycles_per_second {
@@ -240,15 +250,10 @@ impl JsonReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+/// Logical CPUs on the host running the bench (0 when the platform
+/// cannot report it — never silently wrong, always present).
+pub fn host_logical_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -291,6 +296,10 @@ mod tests {
         rep.record("g/no_sim", Duration::from_millis(1), 1, None);
         let json = rep.render();
         assert!(json.contains("\"schema\": \"gsim-tinybench-v1\""));
+        // The whole document is valid JSON and records the host size.
+        let doc = gsim_json::parse(&json).expect("report is valid JSON");
+        let cpus = doc.get("host_logical_cpus").unwrap().as_u64().unwrap();
+        assert_eq!(cpus, host_logical_cpus() as u64);
         // 6000 cycles in 3 us = 2e9 cycles/sec.
         assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
         // Zero-duration medians cannot produce a rate.

@@ -18,10 +18,8 @@ use gsim_trace::MemScale;
 use crate::classify::classify_scaling;
 use crate::cliff::SizedMrc;
 use crate::error::ModelError;
+use crate::oneshot::{build_predictors, NamedPredictor, Observation};
 use crate::percent_error;
-use crate::predictor::{
-    LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
-};
 use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
 
 /// One simulated system point.
@@ -124,11 +122,9 @@ fn measure(stats: &gsim_sim::SimStats, size: u32) -> MeasuredPoint {
     }
 }
 
-/// A named, boxed predictor as the experiment pipelines carry them.
-type NamedPredictor = (&'static str, Box<dyn ScalingPredictor>);
-
-/// Builds the four baseline predictors plus the scale-model predictor
-/// from the two scale-model observations.
+/// Builds the five predictors through the shared roster in
+/// [`oneshot`](crate::oneshot), so the experiment pipelines and the
+/// one-shot service entry point can never disagree on the method set.
 fn build_methods(
     s: u32,
     ipc_s: f64,
@@ -137,29 +133,19 @@ fn build_methods(
     mrc: Option<&SizedMrc>,
     f_mem_l: f64,
 ) -> Result<Vec<NamedPredictor>, ModelError> {
-    let mut inputs = ScaleModelInputs::new(s, ipc_s, l, ipc_l).with_f_mem(f_mem_l);
-    if let Some(mrc) = mrc {
-        inputs = inputs.with_sized_mrc(mrc.clone());
-    }
-    Ok(vec![
-        (
-            "logarithmic",
-            Box::new(LogRegression::fit(s, ipc_s, l, ipc_l)?) as Box<dyn ScalingPredictor>,
-        ),
-        (
-            "proportional",
-            Box::new(Proportional::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        (
-            "linear",
-            Box::new(LinearRegression::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        (
-            "power-law",
-            Box::new(PowerLawRegression::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        ("scale-model", Box::new(ScaleModelPredictor::new(inputs)?)),
-    ])
+    build_predictors(
+        Observation {
+            size: s,
+            ipc: ipc_s,
+            f_mem: 0.0,
+        },
+        Observation {
+            size: l,
+            ipc: ipc_l,
+            f_mem: f_mem_l,
+        },
+        mrc,
+    )
 }
 
 fn predict_all(methods: Vec<NamedPredictor>, targets: &[(u32, f64)]) -> Vec<MethodOutcome> {

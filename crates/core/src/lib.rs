@@ -45,6 +45,7 @@ pub mod classify;
 pub mod cliff;
 pub mod experiment;
 pub mod multi_cliff;
+pub mod oneshot;
 pub mod parallel;
 pub mod predictor;
 pub mod report;
@@ -57,6 +58,7 @@ pub use classify::classify_scaling;
 pub use cliff::{detect_cliff, detect_cliff_with, Region, SizedMrc};
 pub use error::ModelError;
 pub use multi_cliff::{detect_cliffs, MultiCliffPredictor};
+pub use oneshot::{build_predictors, predict_targets, Forecast, Observation, TargetForecast};
 pub use parallel::{SuiteRun, SweepFailure};
 pub use predictor::{
     LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,

@@ -1,0 +1,237 @@
+//! One-shot prediction: the predictor entry point reusable outside the
+//! experiment pipelines.
+//!
+//! The [`experiment`](crate::experiment) pipelines are built for the
+//! paper's evaluation: they simulate the *target* systems too, because
+//! the whole point there is comparing predictions against ground truth.
+//! A consumer that just wants an answer — "how fast would this workload
+//! run on a 128-SM GPU?", the `gsim-serve` HTTP service's entire job —
+//! has only the scale-model observations and must not be forced through
+//! a pipeline that simulates what it is trying to avoid simulating.
+//!
+//! [`predict_targets`] is that entry point: scale-model observations in,
+//! per-method IPC predictions out, no ground truth anywhere. The
+//! experiment pipelines build their predictors through the same
+//! [`build_predictors`] so the two paths cannot drift apart.
+
+use crate::cliff::SizedMrc;
+use crate::error::ModelError;
+use crate::predictor::{
+    LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
+};
+use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
+
+/// One simulated scale-model observation, as a prediction input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// System size (SMs, or chiplets for MCM predictions).
+    pub size: u32,
+    /// Measured sustained IPC.
+    pub ipc: f64,
+    /// Measured memory-stall fraction (`f_mem` of Eq. 3). Only the larger
+    /// scale model's value is consulted, and only across a cliff.
+    pub f_mem: f64,
+}
+
+/// A named, boxed predictor, as both the experiment pipelines and the
+/// one-shot entry point carry them.
+pub type NamedPredictor = (&'static str, Box<dyn ScalingPredictor>);
+
+/// Builds the four baseline predictors plus the scale-model predictor
+/// from the two scale-model observations — the one place the method
+/// roster is defined.
+///
+/// # Errors
+///
+/// Returns an error if the observations are degenerate (sizes not
+/// `small < large`, non-positive IPC) or a cliff lies beyond the scale
+/// models but no `f_mem` is usable.
+pub fn build_predictors(
+    small: Observation,
+    large: Observation,
+    mrc: Option<&SizedMrc>,
+) -> Result<Vec<NamedPredictor>, ModelError> {
+    let (s, l) = (small.size, large.size);
+    let (ipc_s, ipc_l) = (small.ipc, large.ipc);
+    let mut inputs = ScaleModelInputs::new(s, ipc_s, l, ipc_l).with_f_mem(large.f_mem);
+    if let Some(mrc) = mrc {
+        inputs = inputs.with_sized_mrc(mrc.clone());
+    }
+    Ok(vec![
+        (
+            "logarithmic",
+            Box::new(LogRegression::fit(s, ipc_s, l, ipc_l)?) as Box<dyn ScalingPredictor>,
+        ),
+        (
+            "proportional",
+            Box::new(Proportional::fit(s, ipc_s, l, ipc_l)?),
+        ),
+        (
+            "linear",
+            Box::new(LinearRegression::fit(s, ipc_s, l, ipc_l)?),
+        ),
+        (
+            "power-law",
+            Box::new(PowerLawRegression::fit(s, ipc_s, l, ipc_l)?),
+        ),
+        ("scale-model", Box::new(ScaleModelPredictor::new(inputs)?)),
+    ])
+}
+
+/// One method's prediction at one target size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodPrediction {
+    /// Method name ("scale-model", "proportional", …).
+    pub method: &'static str,
+    /// Predicted IPC at the target.
+    pub predicted_ipc: f64,
+}
+
+/// All methods' predictions at one target size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetForecast {
+    /// Target system size.
+    pub target: u32,
+    /// One entry per method, in [`METHODS`](crate::experiment::METHODS)
+    /// order.
+    pub by_method: Vec<MethodPrediction>,
+}
+
+impl TargetForecast {
+    /// The prediction of `method`, if present.
+    pub fn method(&self, method: &str) -> Option<f64> {
+        self.by_method
+            .iter()
+            .find(|p| p.method == method)
+            .map(|p| p.predicted_ipc)
+    }
+}
+
+/// The complete output of a one-shot prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// The correction factor `C` of Eq. (1) measured between the scale
+    /// models.
+    pub correction_factor: f64,
+    /// First size past the detected miss-rate-curve cliff, if any.
+    pub cliff_at: Option<u32>,
+    /// One forecast per requested target, in request order.
+    pub targets: Vec<TargetForecast>,
+}
+
+/// Predicts IPC at each of `targets` with all five methods, from the two
+/// scale-model observations and (for strong scaling) the miss-rate
+/// curve. No target is ever simulated.
+///
+/// # Errors
+///
+/// Returns an error if the observations are degenerate, a target is not
+/// the larger scale model times a power of two, or the miss-rate curve
+/// does not cover a target past the scale models.
+pub fn predict_targets(
+    small: Observation,
+    large: Observation,
+    mrc: Option<&SizedMrc>,
+    targets: &[u32],
+) -> Result<Forecast, ModelError> {
+    let predictors = build_predictors(small, large, mrc)?;
+    // The scale-model predictor also owns cliff detection and the checked
+    // (non-panicking) prediction path, so keep a concretely typed one
+    // alongside the trait-object roster. Construction is pure arithmetic;
+    // fitting it twice costs nothing.
+    let scale_model = {
+        let mut inputs = ScaleModelInputs::new(small.size, small.ipc, large.size, large.ipc)
+            .with_f_mem(large.f_mem);
+        if let Some(mrc) = mrc {
+            inputs = inputs.with_sized_mrc(mrc.clone());
+        }
+        ScaleModelPredictor::new(inputs)?
+    };
+    let mut forecasts = Vec::with_capacity(targets.len());
+    for &target in targets {
+        // Validate once through the checked path so a bad target surfaces
+        // as an error instead of a panic inside `predict`.
+        let checked = scale_model.predict_checked(target)?;
+        let by_method = predictors
+            .iter()
+            .map(|(name, p)| MethodPrediction {
+                method: name,
+                predicted_ipc: if *name == "scale-model" {
+                    checked
+                } else {
+                    p.predict(f64::from(target))
+                },
+            })
+            .collect();
+        forecasts.push(TargetForecast { target, by_method });
+    }
+    Ok(Forecast {
+        correction_factor: scale_model.correction_factor(),
+        cliff_at: scale_model.cliff_at(),
+        targets: forecasts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(size: u32, ipc: f64, f_mem: f64) -> Observation {
+        Observation { size, ipc, f_mem }
+    }
+
+    #[test]
+    fn forecast_matches_direct_predictors() {
+        let mrc = SizedMrc::new([(8, 10.0), (16, 10.0), (32, 10.0), (64, 9.8), (128, 9.5)]);
+        let f = predict_targets(
+            obs(8, 100.0, 0.3),
+            obs(16, 190.0, 0.4),
+            Some(&mrc),
+            &[32, 64, 128],
+        )
+        .unwrap();
+        assert_eq!(f.targets.len(), 3);
+        assert!((f.correction_factor - 0.95).abs() < 1e-12);
+        assert_eq!(f.cliff_at, None);
+        let at128 = &f.targets[2];
+        assert_eq!(at128.target, 128);
+        // Five methods, scale-model equal to the checked standalone path.
+        assert_eq!(at128.by_method.len(), 5);
+        let expected_sm = 190.0 * 8.0 * 0.95f64.powi(7);
+        assert!((at128.method("scale-model").unwrap() - expected_sm).abs() < 1e-9);
+        let expected_prop = 190.0 * 128.0 / 16.0;
+        assert!((at128.method("proportional").unwrap() - expected_prop).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_scaling_needs_no_mrc() {
+        let f = predict_targets(obs(8, 100.0, 0.2), obs(16, 196.0, 0.2), None, &[128]).unwrap();
+        let expected = 196.0 * 8.0 * 0.98f64.powi(7);
+        assert!((f.targets[0].method("scale-model").unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cliff_crossing_uses_f_mem() {
+        let mrc = SizedMrc::new([(8, 8.0), (16, 8.0), (32, 8.0), (64, 8.0), (128, 0.4)]);
+        let f =
+            predict_targets(obs(8, 100.0, 0.3), obs(16, 190.0, 0.5), Some(&mrc), &[128]).unwrap();
+        assert_eq!(f.cliff_at, Some(128));
+        let expected = 190.0 * (2.0 * 0.95) * (2.0 * 0.95f64.powi(2)) * (2.0 / 0.5);
+        assert!((f.targets[0].method("scale-model").unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_targets_are_errors_not_panics() {
+        let err = predict_targets(obs(8, 100.0, 0.2), obs(16, 190.0, 0.2), None, &[48]);
+        assert!(matches!(err, Err(ModelError::TargetNotDoubling { .. })));
+        let mrc = SizedMrc::new([(8, 8.0), (16, 8.0)]);
+        let err = predict_targets(obs(8, 100.0, 0.2), obs(16, 190.0, 0.2), Some(&mrc), &[64]);
+        assert!(matches!(err, Err(ModelError::MrcDoesNotCover { .. })));
+    }
+
+    #[test]
+    fn degenerate_observations_are_rejected() {
+        assert!(predict_targets(obs(16, 100.0, 0.2), obs(8, 190.0, 0.2), None, &[32]).is_err());
+        assert!(predict_targets(obs(8, 0.0, 0.2), obs(16, 190.0, 0.2), None, &[32]).is_err());
+    }
+}

@@ -237,39 +237,14 @@ impl EventSink for JsonlSink {
     }
 }
 
-/// Renders `s` as a JSON string literal (quotes included).
-pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+/// Renders `s` as a JSON string literal (quotes included) — the shared
+/// implementation from `gsim-json`, re-exported for existing callers.
+pub use gsim_json::json_string;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
-
-    #[test]
-    fn json_string_escapes() {
-        assert_eq!(json_string("plain"), r#""plain""#);
-        assert_eq!(json_string("a\"b\\c"), r#""a\"b\\c""#);
-        assert_eq!(json_string("x\ny\tz"), r#""x\ny\tz""#);
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
-    }
 
     /// A shared in-memory writer to observe JsonlSink output.
     #[derive(Clone, Default)]
@@ -310,7 +285,7 @@ mod tests {
         assert!(lines[1].contains(r#""job":"a \"quoted\" job""#));
         assert!(lines[1].contains(r#""outcome":"ok""#));
         for l in &lines {
-            assert!(l.starts_with('{') && l.ends_with('}'));
+            gsim_json::parse(l).expect("every metrics line is valid JSON");
         }
     }
 }

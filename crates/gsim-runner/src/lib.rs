@@ -20,6 +20,10 @@
 //!   started/finished/sweep events to any number of sinks.
 //!   [`ProgressReporter`] renders them on stderr; [`JsonlSink`] appends
 //!   one JSON object per event to a writer (the structured metrics file).
+//! * [`handle`] — [`Promise`]/[`JobHandle`] pairs: one producer, many
+//!   blocked waiters sharing the published result. The building block
+//!   services (gsim-serve's single-flight request deduplication) layer on
+//!   top of the pool.
 //!
 //! # Failure policy
 //!
@@ -57,9 +61,11 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod handle;
 pub mod job;
 pub mod pool;
 
 pub use events::{Event, EventSink, JsonlSink, ProgressReporter};
+pub use handle::{job_handle, Abandoned, JobHandle, Promise};
 pub use job::{Job, JobReport, JobStatus};
 pub use pool::{Runner, RunnerConfig};

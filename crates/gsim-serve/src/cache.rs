@@ -1,0 +1,298 @@
+//! Content-addressed result cache: in-memory LRU with optional on-disk
+//! JSONL persistence.
+//!
+//! The *content address* of a prediction is the FNV-1a 64-bit hash of a
+//! canonical string spelling out everything the answer depends on: every
+//! field of the derived [`GpuConfig`](gsim_sim::GpuConfig)s (so changing
+//! a simulator default silently invalidates old entries), the normalized
+//! workload/pattern spec, the scale-model sizes, the targets and the
+//! memory miniature. The canonical string itself is persisted next to
+//! the body, which makes the on-disk file self-validating: keys are
+//! re-derived on load, never trusted.
+//!
+//! Persistence is an append-only `predictions.jsonl` under the cache
+//! directory — one `{"schema", "canonical", "body"}` object per line,
+//! rewritten compacted only when eviction would otherwise let the file
+//! grow without bound. Unparseable lines are skipped, not fatal: a
+//! truncated tail (crash mid-append) must not brick the server.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use gsim_json::{obj, Json};
+
+/// Schema tag of one persisted cache line.
+const LINE_SCHEMA: &str = "gsim-serve-cache-v1";
+/// File name inside the cache directory.
+const FILE_NAME: &str = "predictions.jsonl";
+
+/// FNV-1a 64-bit over `bytes` — the content-address hash. Stable across
+/// platforms and releases by construction.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Entry {
+    canonical: String,
+    body: Arc<String>,
+    last_used: u64,
+}
+
+struct Lru {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    clock: u64,
+    /// Lines appended to disk since the last compaction.
+    appended: usize,
+}
+
+/// The shared result cache.
+pub struct ResultCache {
+    inner: Mutex<Lru>,
+    /// Persistence root; `None` disables the disk tier.
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// An in-memory cache of at most `capacity` entries; when `dir` is
+    /// given, existing entries are loaded from it and new entries are
+    /// appended to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache directory cannot be created or its
+    /// existing file cannot be read (individual bad lines are skipped).
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> io::Result<Self> {
+        let mut lru = Lru {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            appended: 0,
+        };
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(FILE_NAME);
+            if path.exists() {
+                load_file(&path, &mut lru)?;
+            }
+        }
+        Ok(Self {
+            inner: Mutex::new(lru),
+            dir,
+        })
+    }
+
+    /// The body cached under `key`, marking it most-recently used.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let mut lru = self.lock();
+        lru.clock += 1;
+        let clock = lru.clock;
+        let entry = lru.map.get_mut(&key)?;
+        entry.last_used = clock;
+        Some(Arc::clone(&entry.body))
+    }
+
+    /// Inserts `body` under `key` (which the caller derived as
+    /// `fnv1a(canonical)`), evicting the least-recently-used entry when
+    /// full, and appends to the persistence file when one is configured.
+    pub fn put(&self, key: u64, canonical: &str, body: Arc<String>) {
+        debug_assert_eq!(key, fnv1a(canonical.as_bytes()), "key must address content");
+        let mut lru = self.lock();
+        lru.clock += 1;
+        let clock = lru.clock;
+        if !lru.map.contains_key(&key) && lru.map.len() >= lru.capacity {
+            if let Some(&victim) = lru
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                lru.map.remove(&victim);
+            }
+        }
+        let fresh = lru
+            .map
+            .insert(
+                key,
+                Entry {
+                    canonical: canonical.to_string(),
+                    body: Arc::clone(&body),
+                    last_used: clock,
+                },
+            )
+            .is_none();
+        if let (true, Some(dir)) = (fresh, &self.dir) {
+            if let Err(e) = self.persist(dir, &mut lru, canonical, &body) {
+                eprintln!("gsim-serve: cache persistence failed: {e}");
+            }
+        }
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Lru> {
+        self.inner.lock().expect("cache lock poisoned")
+    }
+
+    fn persist(&self, dir: &Path, lru: &mut Lru, canonical: &str, body: &str) -> io::Result<()> {
+        let path = dir.join(FILE_NAME);
+        // Compact instead of appending once the file holds twice the
+        // capacity in stale + live lines.
+        if lru.appended + lru.map.len() > 2 * lru.capacity {
+            let mut f = File::create(&path)?;
+            for e in lru.map.values() {
+                writeln!(f, "{}", line_json(&e.canonical, &e.body).render())?;
+            }
+            lru.appended = 0;
+            return Ok(());
+        }
+        let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
+        writeln!(f, "{}", line_json(canonical, body).render())?;
+        lru.appended += 1;
+        Ok(())
+    }
+}
+
+fn line_json(canonical: &str, body: &str) -> Json {
+    obj([
+        ("schema", Json::from(LINE_SCHEMA)),
+        ("canonical", Json::from(canonical)),
+        ("body", Json::from(body)),
+    ])
+}
+
+fn load_file(path: &Path, lru: &mut Lru) -> io::Result<()> {
+    let reader = BufReader::new(File::open(path)?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = gsim_json::parse(&line) else {
+            continue; // torn tail from a crash mid-append
+        };
+        if doc.get("schema").and_then(Json::as_str) != Some(LINE_SCHEMA) {
+            continue;
+        }
+        let (Some(canonical), Some(body)) = (
+            doc.get("canonical").and_then(Json::as_str),
+            doc.get("body").and_then(Json::as_str),
+        ) else {
+            continue;
+        };
+        // Self-validating: the key is re-derived, never stored.
+        let key = fnv1a(canonical.as_bytes());
+        lru.clock += 1;
+        let clock = lru.clock;
+        if lru.map.len() < lru.capacity || lru.map.contains_key(&key) {
+            lru.map.insert(
+                key,
+                Entry {
+                    canonical: canonical.to_string(),
+                    body: Arc::new(body.to_string()),
+                    last_used: clock,
+                },
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gsim-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2, None).unwrap();
+        let key = |s: &str| fnv1a(s.as_bytes());
+        cache.put(key("a"), "a", Arc::new("A".into()));
+        cache.put(key("b"), "b", Arc::new("B".into()));
+        assert_eq!(cache.get(key("a")).unwrap().as_str(), "A"); // refresh a
+        cache.put(key("c"), "c", Arc::new("C".into())); // evicts b
+        assert!(cache.get(key("b")).is_none());
+        assert_eq!(cache.get(key("a")).unwrap().as_str(), "A");
+        assert_eq!(cache.get(key("c")).unwrap().as_str(), "C");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn persists_and_reloads_across_instances() {
+        let dir = tmpdir("reload");
+        let key = fnv1a(b"req-1");
+        {
+            let cache = ResultCache::new(8, Some(dir.clone())).unwrap();
+            cache.put(key, "req-1", Arc::new("{\"x\": 1}".into()));
+        }
+        let cache = ResultCache::new(8, Some(dir.clone())).unwrap();
+        assert_eq!(cache.get(key).unwrap().as_str(), "{\"x\": 1}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_on_load() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = line_json("req-ok", "BODY").render();
+        std::fs::write(
+            dir.join(FILE_NAME),
+            format!("{good}\nnot json at all\n{{\"schema\": \"other\"}}\n{{\"trunc"),
+        )
+        .unwrap();
+        let cache = ResultCache::new(8, Some(dir.clone())).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(fnv1a(b"req-ok")).unwrap().as_str(), "BODY");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_bounds_the_file() {
+        let dir = tmpdir("compact");
+        let cache = ResultCache::new(2, Some(dir.clone())).unwrap();
+        for i in 0..20 {
+            let canonical = format!("req-{i}");
+            cache.put(
+                fnv1a(canonical.as_bytes()),
+                &canonical,
+                Arc::new(format!("B{i}")),
+            );
+        }
+        let lines = std::fs::read_to_string(dir.join(FILE_NAME))
+            .unwrap()
+            .lines()
+            .count();
+        assert!(lines <= 2 * 2 + 1, "file not compacted: {lines} lines");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,505 @@
+//! A minimal HTTP/1.1 server on `std::net`, sized for gsim-serve.
+//!
+//! Scope: exactly what a local prediction service needs and nothing
+//! more — an accept loop feeding a bounded pool of worker threads,
+//! strict request parsing with size and time limits, keep-alive, and a
+//! cooperative shutdown flag. No TLS, no chunked bodies, no routing
+//! DSL; the handler is one function from [`Request`] to [`Response`].
+//!
+//! # Shutdown
+//!
+//! The workspace forbids `unsafe`, so installing POSIX signal handlers
+//! is off the table. Shutdown is therefore *cooperative*: anything
+//! holding the server's [`ShutdownFlag`] (the `POST /v1/shutdown`
+//! endpoint, the CLI's stdin watcher, a test) can trigger it; the
+//! accept loop notices within one poll interval, stops accepting, and
+//! joins the workers after they finish their in-flight connections.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A cooperative shutdown signal shared by the server, its handler, and
+/// whoever supervises them (clone freely; all clones observe the same
+/// flag).
+#[derive(Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, untriggered flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown. Idempotent.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method verb (`GET`, `POST`, …) as received.
+    pub method: String,
+    /// Request target, e.g. `/v1/predict` (query string not split off).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Extra headers; `Content-Length` and `Connection` are added by the
+    /// server when writing.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: sets `Content-Type: application/json`.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// Adds one header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Server tuning knobs; the defaults suit a local prediction service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (the bound on concurrency).
+    pub threads: usize,
+    /// Maximum bytes of request line + headers.
+    pub max_header_bytes: usize,
+    /// Maximum request body size.
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; a stalled client cannot pin a worker.
+    pub read_timeout: Duration,
+    /// Requests served on one keep-alive connection before closing.
+    pub max_requests_per_conn: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1000,
+        }
+    }
+}
+
+/// The handler type: pure function of the request. Cloned into every
+/// worker thread via `Arc`.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// A bound listener plus its worker-pool configuration.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    shutdown: ShutdownFlag,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (bad address, port in use, …).
+    pub fn bind(addr: &str, cfg: ServerConfig, shutdown: ShutdownFlag) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            cfg,
+            shutdown,
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until the shutdown flag triggers, then joins
+    /// the workers (in-flight connections finish; queued ones drain).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot be polled.
+    pub fn serve(self, handler: Arc<Handler>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers: Vec<_> = (0..self.cfg.threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let cfg = self.cfg.clone();
+                let shutdown = self.shutdown.clone();
+                std::thread::Builder::new()
+                    .name(format!("gsim-serve-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only while receiving keeps the
+                        // queue shared without serialising the handling.
+                        let next = rx.lock().expect("worker queue poisoned").recv();
+                        match next {
+                            Ok(stream) => handle_connection(stream, &cfg, &handler, &shutdown),
+                            Err(_) => break, // acceptor hung up: drain done
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        while !self.shutdown.is_triggered() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx); // workers exit once the queue drains
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: parse, handle, respond, repeat while
+/// keep-alive applies. Any parse error produces one best-effort error
+/// response and closes.
+fn handle_connection(
+    stream: TcpStream,
+    cfg: &ServerConfig,
+    handler: &Arc<Handler>,
+    shutdown: &ShutdownFlag,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+
+    for served in 0..cfg.max_requests_per_conn {
+        let req = match read_request(&mut stream, &mut buf, cfg, served == 0) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between requests
+            Err(status) => {
+                let body = format!("{{\"error\": {}}}", gsim_json::json_string(reason(status)));
+                let _ = write_response(&mut stream, &Response::json(status, body), true);
+                return;
+            }
+        };
+        let close =
+            shutdown.is_triggered() || served + 1 == cfg.max_requests_per_conn || wants_close(&req);
+        let resp = handler(&req);
+        if write_response(&mut stream, &resp, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn wants_close(req: &Request) -> bool {
+    req.header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+}
+
+/// Reads one request. `Ok(None)` means the peer closed before sending
+/// anything (normal keep-alive termination, only reported when the
+/// buffer is empty). `Err(status)` is the HTTP status to fail with.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    cfg: &ServerConfig,
+    first: bool,
+) -> Result<Option<Request>, u16> {
+    // Accumulate until the blank line ending the header block.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(buf) {
+            break pos;
+        }
+        if buf.len() > cfg.max_header_bytes {
+            return Err(413);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(400) // truncated mid-request
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                return if buf.is_empty() && !first {
+                    Ok(None) // idle keep-alive connection: just close
+                } else {
+                    Err(408)
+                };
+            }
+            Err(_) => return Err(400),
+        }
+    };
+
+    let (method, path, headers) = {
+        let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| 400u16)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(400u16)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().filter(|m| !m.is_empty()).ok_or(400u16)?;
+        let path = parts.next().filter(|p| p.starts_with('/')).ok_or(400u16)?;
+        let version = parts.next().ok_or(400u16)?;
+        if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+            return Err(400);
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(400u16)?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        (method.to_string(), path.to_string(), headers)
+    };
+    let header_of = |n: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| v.as_str())
+    };
+    if header_of("transfer-encoding").is_some() {
+        return Err(501); // chunked and friends are out of scope
+    }
+    let content_length: usize = match header_of("content-length") {
+        Some(v) => v.parse().map_err(|_| 400u16)?,
+        None => 0,
+    };
+    if content_length > cfg.max_body_bytes {
+        return Err(413);
+    }
+
+    // Read the body: part may already sit in the buffer past the headers.
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(408),
+            Err(_) => return Err(400),
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    let request = Request {
+        method,
+        path,
+        headers,
+        body,
+    };
+    // Keep any pipelined bytes for the next request on this connection.
+    buf.drain(..body_start + content_length);
+    Ok(Some(request))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (k, v) in &resp.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn start(
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> (SocketAddr, ShutdownFlag, std::thread::JoinHandle<()>) {
+        let shutdown = ShutdownFlag::new();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 2,
+                read_timeout: Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+            shutdown.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = shutdown.clone();
+        let join = std::thread::spawn(move || server.serve(Arc::new(handler)).unwrap());
+        (addr, flag, join)
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let (addr, shutdown, join) = start(|req| {
+            Response::json(
+                200,
+                format!("{{\"path\": {}}}", gsim_json::json_string(&req.path)),
+            )
+        });
+        let resp = roundtrip(
+            addr,
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.ends_with("{\"path\": \"/healthz\"}"), "{resp}");
+        shutdown.trigger();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (addr, shutdown, join) = start(|req| Response::json(200, req.body.clone()));
+        let mut s = TcpStream::connect(addr).unwrap();
+        for payload in ["one", "two"] {
+            let raw = format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            );
+            s.write_all(raw.as_bytes()).unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+            let mut len = 0usize;
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().unwrap();
+                }
+                if h == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            assert_eq!(body, payload.as_bytes());
+        }
+        drop(s);
+        shutdown.trigger();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        let (addr, shutdown, join) = start(|_| Response::json(200, "{}"));
+        let resp = roundtrip(addr, "NONSENSE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        // Claimed body larger than the limit is refused outright.
+        let resp = roundtrip(
+            addr,
+            "POST /x HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        let resp = roundtrip(
+            addr,
+            "POST /x HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 501"), "{resp}");
+        shutdown.trigger();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! gsim-serve: an HTTP prediction service over the scale-model pipeline.
+//!
+//! The experiment crates answer *"how accurate is the method?"* by
+//! simulating targets and comparing. This crate answers the question the
+//! method exists for: *"how fast would this workload run on a GPU I
+//! cannot afford to simulate?"* — as a long-lived local service. A
+//! `POST /v1/predict` names a workload (a Table II / Table IV benchmark
+//! or a synthetic [`PatternSpec`](gsim_trace::PatternSpec) description),
+//! the target size, and optionally the scale-model sizes and memory
+//! miniature; the service simulates only the two small scale models on a
+//! [`gsim_runner`] pool, collects the functional miss-rate curve, runs
+//! the [`gsim_core::oneshot`] predictor, and returns a JSON report.
+//!
+//! Three layers keep repeated questions cheap:
+//!
+//! * **Content-addressed caching** ([`cache`]): the response is keyed by
+//!   a hash of everything it depends on — normalized request *and* every
+//!   field of the derived GPU configs — held in an in-memory LRU with
+//!   optional on-disk JSONL persistence that survives restarts.
+//! * **Single-flight deduplication** ([`singleflight`]): N concurrent
+//!   identical requests cost one simulation; followers block on the
+//!   leader's [`gsim_runner::JobHandle`] and receive the identical body.
+//! * **A dependency-free HTTP server** ([`http`]): `std::net` accept
+//!   loop, bounded workers, strict limits, keep-alive, cooperative
+//!   shutdown. The whole workspace builds offline; so does its service.
+//!
+//! `GET /metrics` ([`metrics`]) exposes request counts, cache hit/miss,
+//! in-flight gauges and latency quantiles from an in-tree histogram.
+//! DESIGN.md §11 documents the threading model and cache-key derivation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod service;
+pub mod singleflight;
+
+pub use cache::{fnv1a, ResultCache};
+pub use http::{Handler, Request, Response, Server, ServerConfig, ShutdownFlag};
+pub use metrics::{Histogram, Metrics, RunnerJobCounter};
+pub use service::{ApiError, PredictService, ServeConfig};
+pub use singleflight::{Role, SingleFlight};

@@ -1,0 +1,218 @@
+//! Service counters and an in-tree latency histogram.
+//!
+//! Everything is cheap enough to update on every request: plain atomics
+//! for counters, one mutex-guarded fixed-size histogram for latency.
+//! [`Metrics::to_json`] renders the `GET /metrics` document
+//! (`gsim-serve-metrics-v1`).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gsim_json::{obj, Json};
+use gsim_runner::{Event, EventSink};
+
+/// Log-scale latency histogram: bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` microseconds, the last bucket is open-ended. 32
+/// buckets cover a microsecond to over an hour.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [u64; 32],
+    count: u64,
+    sum_us: u128,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros();
+        let idx = (128 - u128::leading_zeros(us.max(1)) - 1).min(31) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile (`q` in 0..=1) in microseconds: the upper
+    /// edge of the bucket holding the q-th observation. `None` when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << (i + 1) });
+            }
+        }
+        None
+    }
+
+    /// Mean in microseconds (`None` when empty).
+    pub fn mean_us(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_us as f64 / self.count as f64)
+    }
+}
+
+/// All counters the service exports. One instance per service, shared
+/// (`Arc`) with the handler, the runner sink, and `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `GET /healthz` requests served.
+    pub healthz: AtomicU64,
+    /// `GET /v1/workloads` requests served.
+    pub workloads: AtomicU64,
+    /// `POST /v1/predict` requests served (any outcome).
+    pub predict: AtomicU64,
+    /// `GET /metrics` requests served.
+    pub metrics: AtomicU64,
+    /// `POST /v1/shutdown` requests served.
+    pub shutdown: AtomicU64,
+    /// Requests to any unknown route or wrong method.
+    pub other: AtomicU64,
+    /// Predict requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Predict requests that missed the cache.
+    pub cache_misses: AtomicU64,
+    /// Predict misses that piggybacked on an in-flight identical
+    /// computation (single-flight followers).
+    pub coalesced: AtomicU64,
+    /// Prediction computations actually executed (single-flight leaders:
+    /// the number of times simulations were scheduled).
+    pub computations: AtomicU64,
+    /// Predict requests rejected with a client error.
+    pub predict_errors: AtomicU64,
+    /// Jobs started on the simulation runner pool (every attempt).
+    pub runner_jobs_started: AtomicU64,
+    /// Requests currently inside the handler.
+    pub in_flight: AtomicI64,
+    /// Per-request wall latency, all endpoints.
+    pub latency: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// Records one finished request's latency.
+    pub fn observe_latency(&self, latency: Duration) {
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(latency);
+    }
+
+    /// Renders the `/metrics` document. `cache_entries` comes from the
+    /// cache (it owns that count).
+    pub fn to_json(&self, cache_entries: usize) -> Json {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let hist = self.latency.lock().expect("latency histogram poisoned");
+        obj([
+            ("schema", Json::from("gsim-serve-metrics-v1")),
+            (
+                "requests",
+                obj([
+                    ("healthz", Json::from(get(&self.healthz))),
+                    ("workloads", Json::from(get(&self.workloads))),
+                    ("predict", Json::from(get(&self.predict))),
+                    ("metrics", Json::from(get(&self.metrics))),
+                    ("shutdown", Json::from(get(&self.shutdown))),
+                    ("other", Json::from(get(&self.other))),
+                ]),
+            ),
+            (
+                "predict",
+                obj([
+                    ("cache_hits", Json::from(get(&self.cache_hits))),
+                    ("cache_misses", Json::from(get(&self.cache_misses))),
+                    ("coalesced", Json::from(get(&self.coalesced))),
+                    ("computations", Json::from(get(&self.computations))),
+                    ("errors", Json::from(get(&self.predict_errors))),
+                ]),
+            ),
+            (
+                "runner_jobs_started",
+                Json::from(get(&self.runner_jobs_started)),
+            ),
+            (
+                "in_flight",
+                Json::from(self.in_flight.load(Ordering::Relaxed)),
+            ),
+            ("cache_entries", Json::from(cache_entries)),
+            (
+                "latency_us",
+                obj([
+                    ("count", Json::from(hist.count())),
+                    ("p50", Json::from(hist.quantile_us(0.50))),
+                    ("p99", Json::from(hist.quantile_us(0.99))),
+                    ("mean", Json::from(hist.mean_us())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// An [`EventSink`] that counts runner job starts into
+/// [`Metrics::runner_jobs_started`] — how the integration tests observe
+/// "exactly one simulation ran".
+pub struct RunnerJobCounter(pub Arc<Metrics>);
+
+impl EventSink for RunnerJobCounter {
+    fn on_event(&self, event: &Event<'_>) {
+        if matches!(event, Event::JobStarted { .. }) {
+            self.0.runner_jobs_started.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_millis(50)); // an outlier
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), Some(128));
+        // p99 still sits in the common bucket; p100 sees the outlier.
+        assert_eq!(h.quantile_us(0.99), Some(128));
+        assert!(h.quantile_us(1.0).unwrap() >= 50_000);
+        let mean = h.mean_us().unwrap();
+        assert!(mean > 100.0 && mean < 1000.0, "{mean}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), None);
+    }
+
+    #[test]
+    fn metrics_document_shape() {
+        let m = Metrics::default();
+        m.predict.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.observe_latency(Duration::from_micros(10));
+        let doc = m.to_json(7);
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("gsim-serve-metrics-v1")
+        );
+        let predict = doc.get("predict").unwrap();
+        assert_eq!(predict.get("cache_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("cache_entries").unwrap().as_u64(), Some(7));
+        let lat = doc.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        // Round-trips through the parser.
+        gsim_json::parse(&doc.render()).unwrap();
+    }
+}

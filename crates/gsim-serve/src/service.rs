@@ -1,0 +1,1040 @@
+//! The prediction service: request normalization, content addressing,
+//! single-flight computation on the runner pool, and the HTTP router.
+//!
+//! # Endpoints
+//!
+//! | Route               | Meaning                                        |
+//! |---------------------|------------------------------------------------|
+//! | `GET /healthz`      | liveness probe                                 |
+//! | `GET /v1/workloads` | the Table II / Table IV workload catalog       |
+//! | `POST /v1/predict`  | run scale models, predict the target           |
+//! | `GET /metrics`      | counters, cache stats, latency quantiles       |
+//! | `POST /v1/shutdown` | trigger cooperative shutdown                   |
+//!
+//! # Determinism contract
+//!
+//! A prediction body contains only deterministic quantities (IPC, MPKI,
+//! `f_mem`, cycles, model outputs) rendered through `gsim-json`'s
+//! deterministic writer — never wall-clock measurements. Identical
+//! requests therefore produce *byte-identical* bodies, which is what
+//! makes content-addressed caching sound. Cache status travels in the
+//! `X-Gsim-Cache` response header (`hit` / `miss` / `coalesced`), not
+//! the body.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsim_core::oneshot::{predict_targets, Observation};
+use gsim_json::{obj, Json};
+use gsim_runner::{Job, Runner, RunnerConfig};
+use gsim_sim::{collect_mrc, GpuConfig, Simulator};
+use gsim_trace::suite::{strong_benchmark, strong_suite};
+use gsim_trace::weak::{weak_benchmark, weak_suite};
+use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
+
+use crate::cache::{fnv1a, ResultCache};
+use crate::http::{Request, Response, ShutdownFlag};
+use crate::metrics::{Metrics, RunnerJobCounter};
+use crate::singleflight::{Role, SingleFlight};
+
+/// Response-body schema tag.
+const PREDICT_SCHEMA: &str = "gsim-serve-predict-v1";
+/// Largest accepted request body for `/v1/predict`.
+const MAX_PREDICT_BYTES: usize = 64 * 1024;
+/// Largest accepted target system size.
+const MAX_TARGET_SMS: u32 = 1 << 20;
+
+/// Service construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Worker threads of the simulation runner pool (0 = auto).
+    pub runner_threads: usize,
+    /// In-memory cache capacity in entries (0 = default 256).
+    pub cache_capacity: usize,
+    /// Persistence directory for the result cache (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// A client-visible error: HTTP status plus message. Cloneable so
+/// single-flight followers can share the leader's failure.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Human-readable explanation, sent as `{"error": ...}`.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+
+    fn response(&self) -> Response {
+        let body = obj([("error", Json::from(self.message.as_str()))]).render();
+        Response::json(self.status, body)
+    }
+}
+
+/// What one prediction flight publishes to its followers.
+type Outcome = Result<Arc<String>, ApiError>;
+
+/// The fully validated, normalized form of one predict request.
+#[derive(Debug)]
+struct Plan {
+    /// Canonical content-address string (normalized request + full
+    /// derived config encodings).
+    canonical: String,
+    /// Normalized request document, echoed in the response.
+    normalized: Json,
+    /// Simulation inputs per scale model.
+    kind: PlanKind,
+    small: u32,
+    large: u32,
+    targets: Vec<u32>,
+    scale: MemScale,
+    /// The whole doubling ladder from `small` through the largest
+    /// target — the MRC probe sizes.
+    ladder: Vec<u32>,
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    /// Fixed workload at every size; the miss-rate curve matters
+    /// (strong-scaling benchmarks and synthetic patterns).
+    WithMrc(Workload),
+    /// Input grows with the machine; no MRC (weak scaling, Table IV).
+    PerSize {
+        small_wl: Workload,
+        large_wl: Workload,
+    },
+}
+
+/// One scale-model simulation's deterministic outputs.
+#[derive(Debug, Clone)]
+struct SimPoint {
+    size: u32,
+    ipc: f64,
+    mpki: f64,
+    f_mem: f64,
+    cycles: u64,
+}
+
+/// What one runner job returns.
+enum SimOut {
+    Point(SimPoint),
+    Mrc(Vec<(u32, f64)>),
+}
+
+/// The shared prediction service. Construct once, share behind `Arc`
+/// with the HTTP server's handler.
+pub struct PredictService {
+    runner: Runner,
+    cache: ResultCache,
+    flights: SingleFlight<Outcome>,
+    metrics: Arc<Metrics>,
+    shutdown: ShutdownFlag,
+}
+
+impl PredictService {
+    /// Builds the service: runner pool, cache (loading any persisted
+    /// entries), metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache directory cannot be prepared.
+    pub fn new(cfg: ServeConfig, shutdown: ShutdownFlag) -> std::io::Result<Arc<Self>> {
+        let metrics = Arc::new(Metrics::default());
+        let runner = Runner::new(RunnerConfig {
+            threads: cfg.runner_threads,
+            timeout: None, // big simulations are legitimate, never kill them
+            retry_once: true,
+        })
+        .with_sink(RunnerJobCounter(Arc::clone(&metrics)));
+        let capacity = if cfg.cache_capacity == 0 {
+            256
+        } else {
+            cfg.cache_capacity
+        };
+        Ok(Arc::new(Self {
+            runner,
+            cache: ResultCache::new(capacity, cfg.cache_dir)?,
+            flights: SingleFlight::new(),
+            metrics: Arc::clone(&metrics),
+            shutdown,
+        }))
+    }
+
+    /// The service's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The HTTP router: the function handed to [`crate::http::Server`].
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let resp = self.route(req);
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.observe_latency(started.elapsed());
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        let bump = |c: &std::sync::atomic::AtomicU64| c.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                bump(&self.metrics.healthz);
+                Response::json(200, obj([("status", Json::from("ok"))]).render())
+            }
+            ("GET", "/v1/workloads") => {
+                bump(&self.metrics.workloads);
+                Response::json(200, workloads_json().render())
+            }
+            ("POST", "/v1/predict") => {
+                bump(&self.metrics.predict);
+                self.predict(&req.body)
+            }
+            ("GET", "/metrics") => {
+                bump(&self.metrics.metrics);
+                Response::json(200, self.metrics.to_json(self.cache.len()).render())
+            }
+            ("POST", "/v1/shutdown") => {
+                bump(&self.metrics.shutdown);
+                self.shutdown.trigger();
+                Response::json(200, obj([("status", Json::from("shutting-down"))]).render())
+            }
+            (_, "/healthz" | "/v1/workloads" | "/v1/predict" | "/metrics" | "/v1/shutdown") => {
+                bump(&self.metrics.other);
+                ApiError {
+                    status: 405,
+                    message: "method not allowed".into(),
+                }
+                .response()
+            }
+            _ => {
+                bump(&self.metrics.other);
+                ApiError {
+                    status: 404,
+                    message: "no such route".into(),
+                }
+                .response()
+            }
+        }
+    }
+
+    /// `POST /v1/predict`: normalize, address, then hit the cache, join
+    /// an identical in-flight computation, or lead a new one.
+    fn predict(&self, body: &[u8]) -> Response {
+        let plan = match parse_request(body) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+                return e.response();
+            }
+        };
+        let key = fnv1a(plan.canonical.as_bytes());
+        if let Some(cached) = self.cache.get(key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json(200, cached.as_bytes().to_vec())
+                .with_header("X-Gsim-Cache", "hit");
+        }
+        match self.flights.join(key) {
+            Role::Leader(promise) => {
+                self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.computations.fetch_add(1, Ordering::Relaxed);
+                let outcome: Outcome = match self.compute(&plan, key) {
+                    Ok(body) => {
+                        let body = Arc::new(body);
+                        self.cache.put(key, &plan.canonical, Arc::clone(&body));
+                        Ok(body)
+                    }
+                    Err(e) => Err(e),
+                };
+                self.flights.publish(key, promise, outcome.clone());
+                self.respond(outcome, "miss")
+            }
+            Role::Follower(handle) => {
+                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                match handle.wait() {
+                    Ok(outcome) => self.respond((*outcome).clone(), "coalesced"),
+                    Err(_) => {
+                        self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+                        ApiError::internal("prediction flight abandoned").response()
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond(&self, outcome: Outcome, cache_status: &str) -> Response {
+        match outcome {
+            Ok(body) => Response::json(200, body.as_bytes().to_vec())
+                .with_header("X-Gsim-Cache", cache_status),
+            Err(e) => {
+                self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+                e.response()
+            }
+        }
+    }
+
+    /// Runs the scale-model simulations (and, for MRC plans, the
+    /// functional replay) as jobs on the runner pool, then the one-shot
+    /// predictor, and renders the response body.
+    fn compute(&self, plan: &Plan, key: u64) -> Result<String, ApiError> {
+        let cfg_of = |sms: u32| GpuConfig::paper_target(sms, plan.scale);
+        let sim_job = |label: String, sms: u32, wl: Workload| {
+            let cfg = cfg_of(sms);
+            Job::new(label, move || {
+                let stats = Simulator::new(cfg.clone(), &wl).run();
+                SimOut::Point(SimPoint {
+                    size: sms,
+                    ipc: stats.sustained_ipc(),
+                    mpki: stats.mpki(),
+                    f_mem: stats.f_mem(),
+                    cycles: stats.cycles,
+                })
+            })
+        };
+        let mut jobs = Vec::new();
+        match &plan.kind {
+            PlanKind::WithMrc(wl) => {
+                jobs.push(sim_job(
+                    format!("sim@{}sm", plan.small),
+                    plan.small,
+                    wl.clone(),
+                ));
+                jobs.push(sim_job(
+                    format!("sim@{}sm", plan.large),
+                    plan.large,
+                    wl.clone(),
+                ));
+                let mrc_wl = wl.clone();
+                let configs: Vec<GpuConfig> = plan.ladder.iter().map(|&s| cfg_of(s)).collect();
+                let sizes = plan.ladder.clone();
+                jobs.push(Job::new("mrc", move || {
+                    let curve = collect_mrc(&mrc_wl, &configs);
+                    SimOut::Mrc(
+                        sizes
+                            .iter()
+                            .zip(curve.points())
+                            .map(|(&s, p)| (s, p.mpki))
+                            .collect(),
+                    )
+                }));
+            }
+            PlanKind::PerSize { small_wl, large_wl } => {
+                jobs.push(sim_job(
+                    format!("sim@{}sm", plan.small),
+                    plan.small,
+                    small_wl.clone(),
+                ));
+                jobs.push(sim_job(
+                    format!("sim@{}sm", plan.large),
+                    plan.large,
+                    large_wl.clone(),
+                ));
+            }
+        }
+        let reports = self.runner.run(&format!("predict-{key:016x}"), jobs);
+        let mut points: Vec<SimPoint> = Vec::new();
+        let mut mrc_points: Option<Vec<(u32, f64)>> = None;
+        for report in reports {
+            let name = report.name.clone();
+            match report.into_ok() {
+                Some(SimOut::Point(p)) => points.push(p),
+                Some(SimOut::Mrc(m)) => mrc_points = Some(m),
+                None => {
+                    return Err(ApiError::internal(format!("job {name} failed")));
+                }
+            }
+        }
+        points.sort_by_key(|p| p.size);
+        let [small, large] = points.as_slice() else {
+            return Err(ApiError::internal("scale-model simulations missing"));
+        };
+        let mrc = mrc_points
+            .as_ref()
+            .map(|pts| gsim_core::SizedMrc::new(pts.iter().copied()));
+        let forecast = predict_targets(
+            Observation {
+                size: small.size,
+                ipc: small.ipc,
+                f_mem: small.f_mem,
+            },
+            Observation {
+                size: large.size,
+                ipc: large.ipc,
+                f_mem: large.f_mem,
+            },
+            mrc.as_ref(),
+            &plan.targets,
+        )
+        .map_err(|e| ApiError::bad(format!("prediction failed: {e}")))?;
+
+        let point_json = |p: &SimPoint| {
+            obj([
+                ("size", Json::from(p.size)),
+                ("ipc", Json::from(p.ipc)),
+                ("mpki", Json::from(p.mpki)),
+                ("f_mem", Json::from(p.f_mem)),
+                ("cycles", Json::from(p.cycles)),
+            ])
+        };
+        let predictions: Vec<Json> = forecast
+            .targets
+            .iter()
+            .map(|t| {
+                obj([
+                    ("target", Json::from(t.target)),
+                    (
+                        "ipc_by_method",
+                        Json::Obj(
+                            t.by_method
+                                .iter()
+                                .map(|m| (m.method.to_string(), Json::from(m.predicted_ipc)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let body = obj([
+            ("schema", Json::from(PREDICT_SCHEMA)),
+            ("request", plan.normalized.clone()),
+            (
+                "scale_models",
+                Json::Arr(vec![point_json(small), point_json(large)]),
+            ),
+            (
+                "mrc",
+                match &mrc_points {
+                    Some(pts) => Json::Arr(
+                        pts.iter()
+                            .map(|&(s, m)| Json::Arr(vec![Json::from(s), Json::from(m)]))
+                            .collect(),
+                    ),
+                    None => Json::Null,
+                },
+            ),
+            ("correction_factor", Json::from(forecast.correction_factor)),
+            ("cliff_at", Json::from(forecast.cliff_at)),
+            ("predictions", Json::Arr(predictions)),
+        ]);
+        Ok(body.render())
+    }
+}
+
+/// The `GET /v1/workloads` catalog.
+fn workloads_json() -> Json {
+    let scale = MemScale::default();
+    obj([
+        ("schema", Json::from("gsim-serve-workloads-v1")),
+        (
+            "strong",
+            Json::Arr(
+                strong_suite(scale)
+                    .iter()
+                    .map(|b| {
+                        obj([
+                            ("abbr", Json::from(b.abbr)),
+                            ("name", Json::from(b.full_name)),
+                            ("footprint_mb", Json::from(b.workload.footprint_mb_paper())),
+                            ("expected", Json::from(b.expected.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "weak",
+            Json::Arr(
+                weak_suite(scale)
+                    .iter()
+                    .map(|b| {
+                        obj([
+                            ("abbr", Json::from(b.abbr)),
+                            ("expected", Json::from(b.expected.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// --- request parsing and normalization ---------------------------------
+
+/// A strict field reader over one JSON object: every access is recorded
+/// so unknown (misspelled) fields can be rejected — a typo must fail
+/// loudly, not silently select a default and poison the cache key space.
+struct Fields<'a> {
+    obj: &'a [(String, Json)],
+    known: Vec<&'static str>,
+    context: &'static str,
+}
+
+impl<'a> Fields<'a> {
+    fn new(json: &'a Json, context: &'static str) -> Result<Self, ApiError> {
+        let Json::Obj(obj) = json else {
+            return Err(ApiError::bad(format!("{context} must be a JSON object")));
+        };
+        Ok(Self {
+            obj,
+            known: Vec::new(),
+            context,
+        })
+    }
+
+    fn get(&mut self, name: &'static str) -> Option<&'a Json> {
+        self.known.push(name);
+        self.obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn finish(self) -> Result<(), ApiError> {
+        for (k, _) in self.obj {
+            if !self.known.contains(&k.as_str()) {
+                return Err(ApiError::bad(format!(
+                    "unknown field {k:?} in {}; known fields: {}",
+                    self.context,
+                    self.known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn as_u32(json: &Json, what: &str) -> Result<u32, ApiError> {
+    json.as_u64()
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| ApiError::bad(format!("{what} must be a non-negative integer")))
+}
+
+fn as_f64(json: &Json, what: &str) -> Result<f64, ApiError> {
+    json.as_f64()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| ApiError::bad(format!("{what} must be a finite number")))
+}
+
+fn parse_request(body: &[u8]) -> Result<Plan, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad("request body must be UTF-8 JSON"))?;
+    let doc = gsim_json::parse_with_limits(text, gsim_json::DEFAULT_MAX_DEPTH, MAX_PREDICT_BYTES)
+        .map_err(|e| ApiError::bad(format!("request body is not valid JSON: {e}")))?;
+    let mut fields = Fields::new(&doc, "request")?;
+
+    // Memory miniature.
+    let scale_divisor = match fields.get("mem_scale") {
+        Some(v) => {
+            let d = as_u32(v, "mem_scale")?;
+            if !(1..=4096).contains(&d) {
+                return Err(ApiError::bad("mem_scale must be in 1..=4096"));
+            }
+            d
+        }
+        None => MemScale::default().divisor(),
+    };
+    let scale = MemScale::new(scale_divisor);
+
+    // Scale-model sizes.
+    let (small, large) = match fields.get("scale_models") {
+        Some(Json::Arr(arr)) if arr.len() == 2 => (
+            as_u32(&arr[0], "scale_models[0]")?,
+            as_u32(&arr[1], "scale_models[1]")?,
+        ),
+        Some(_) => {
+            return Err(ApiError::bad(
+                "scale_models must be a two-element array, e.g. [8, 16]",
+            ))
+        }
+        None => (8, 16),
+    };
+    if small == 0 || small >= large {
+        return Err(ApiError::bad("scale_models must satisfy 0 < small < large"));
+    }
+
+    // Targets: one `target_sms` or an array `targets`; sorted + deduped
+    // so equivalent requests share one cache entry.
+    let mut targets: Vec<u32> = match (fields.get("target_sms"), fields.get("targets")) {
+        (Some(v), None) => vec![as_u32(v, "target_sms")?],
+        (None, Some(Json::Arr(arr))) if !arr.is_empty() => arr
+            .iter()
+            .map(|v| as_u32(v, "targets[]"))
+            .collect::<Result<_, _>>()?,
+        (None, Some(_)) => {
+            return Err(ApiError::bad("targets must be a non-empty array"));
+        }
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad("give either target_sms or targets, not both"));
+        }
+        (None, None) => {
+            return Err(ApiError::bad("missing target_sms (or targets) field"));
+        }
+    };
+    targets.sort_unstable();
+    targets.dedup();
+    for &t in &targets {
+        if t <= large || t > MAX_TARGET_SMS {
+            return Err(ApiError::bad(format!(
+                "target {t} must exceed the larger scale model ({large}) \
+                 and be at most {MAX_TARGET_SMS}"
+            )));
+        }
+    }
+
+    // The doubling ladder smalls→max target; every named size must sit
+    // on it (the predictor extrapolates per doubling).
+    let max_target = *targets.last().expect("targets verified non-empty");
+    let mut ladder = vec![small];
+    let mut size = small;
+    while size < max_target {
+        size = size.saturating_mul(2);
+        ladder.push(size);
+    }
+    for (what, value) in
+        std::iter::once(("larger scale model", large)).chain(targets.iter().map(|&t| ("target", t)))
+    {
+        if !ladder.contains(&value) {
+            return Err(ApiError::bad(format!(
+                "{what} {value} is not a power-of-two multiple of the \
+                 smaller scale model ({small})"
+            )));
+        }
+    }
+
+    // Workload: a suite benchmark or a synthetic pattern.
+    let workload_field = fields.get("workload").cloned();
+    let suite_field = fields.get("suite").cloned();
+    let pattern_field = fields.get("pattern").cloned();
+    let (kind, workload_json, suite_name) = match (workload_field, pattern_field) {
+        (Some(wl), None) => {
+            let abbr = wl
+                .as_str()
+                .ok_or_else(|| ApiError::bad("workload must be a benchmark abbreviation"))?;
+            let suite = match &suite_field {
+                None => "strong",
+                Some(s) => match s.as_str() {
+                    Some(s @ ("strong" | "weak")) => s,
+                    _ => {
+                        return Err(ApiError::bad("suite must be \"strong\" or \"weak\""));
+                    }
+                },
+            };
+            let kind = if suite == "weak" {
+                let bench = weak_benchmark(abbr, scale).ok_or_else(|| {
+                    ApiError::bad(format!(
+                        "unknown weak benchmark {abbr:?}; see GET /v1/workloads"
+                    ))
+                })?;
+                PlanKind::PerSize {
+                    small_wl: bench.workload_for_sms(small),
+                    large_wl: bench.workload_for_sms(large),
+                }
+            } else {
+                let bench = strong_benchmark(abbr, scale).ok_or_else(|| {
+                    ApiError::bad(format!("unknown benchmark {abbr:?}; see GET /v1/workloads"))
+                })?;
+                PlanKind::WithMrc(bench.workload)
+            };
+            (kind, Json::from(abbr), suite.to_string())
+        }
+        (None, Some(pattern)) => {
+            if suite_field.is_some() {
+                return Err(ApiError::bad("suite does not apply to pattern requests"));
+            }
+            let (workload, normalized) = parse_pattern(&pattern, scale)?;
+            (
+                PlanKind::WithMrc(workload),
+                normalized,
+                "pattern".to_string(),
+            )
+        }
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad("give either workload or pattern, not both"));
+        }
+        (None, None) => {
+            return Err(ApiError::bad("missing workload (or pattern) field"));
+        }
+    };
+    fields.finish()?;
+
+    // The normalized request: fixed field order, every default filled
+    // in, so semantically identical requests render identically.
+    let workload_key = if suite_name == "pattern" {
+        "pattern"
+    } else {
+        "workload"
+    };
+    let normalized = obj([
+        (workload_key, workload_json),
+        ("suite", Json::from(suite_name.as_str())),
+        (
+            "scale_models",
+            Json::Arr(vec![Json::from(small), Json::from(large)]),
+        ),
+        (
+            "targets",
+            Json::Arr(targets.iter().map(|&t| Json::from(t)).collect()),
+        ),
+        ("mem_scale", Json::from(scale.divisor())),
+    ]);
+
+    // Content address: the normalized request plus every field of every
+    // derived config on the ladder — a change to the simulator's
+    // defaults must invalidate old cache entries.
+    let mut canonical = normalized.render();
+    for &s in &ladder {
+        canonical.push('|');
+        canonical.push_str(&encode_config(&GpuConfig::paper_target(s, scale)));
+    }
+
+    Ok(Plan {
+        canonical,
+        normalized,
+        kind,
+        small,
+        large,
+        targets,
+        scale,
+        ladder,
+    })
+}
+
+/// Parses a synthetic-pattern spec into a one-kernel workload, returning
+/// it with its fully-defaulted normalized JSON. The defaults are pinned
+/// *here* (not inherited from `PatternSpec`'s builder) so the service's
+/// request semantics cannot drift under it.
+fn parse_pattern(pattern: &Json, scale: MemScale) -> Result<(Workload, Json), ApiError> {
+    let mut f = Fields::new(pattern, "pattern")?;
+    let kind_name = f
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad("pattern.kind must be a string"))?
+        .to_string();
+    let footprint_mb = match f.get("footprint_mb") {
+        Some(v) => as_f64(v, "pattern.footprint_mb")?,
+        None => return Err(ApiError::bad("pattern.footprint_mb is required")),
+    };
+    if footprint_mb <= 0.0 || footprint_mb > 1024.0 * 1024.0 {
+        return Err(ApiError::bad("pattern.footprint_mb must be in (0, 2^20]"));
+    }
+
+    let mut extra: Vec<(&'static str, Json)> = Vec::new();
+    let kind = match kind_name.as_str() {
+        "global_sweep" => {
+            let passes = match f.get("passes") {
+                Some(v) => as_u32(v, "pattern.passes")?.max(1),
+                None => 1,
+            };
+            extra.push(("passes", Json::from(passes)));
+            PatternKind::GlobalSweep { passes }
+        }
+        "streaming" => PatternKind::Streaming,
+        "pointer_chase" => PatternKind::PointerChase,
+        "tiled" => {
+            let tile_lines = match f.get("tile_lines") {
+                Some(v) => u64::from(as_u32(v, "pattern.tile_lines")?.max(1)),
+                None => return Err(ApiError::bad("tiled pattern requires tile_lines")),
+            };
+            let reuses = match f.get("reuses") {
+                Some(v) => as_u32(v, "pattern.reuses")?.max(1),
+                None => return Err(ApiError::bad("tiled pattern requires reuses")),
+            };
+            extra.push(("tile_lines", Json::from(tile_lines)));
+            extra.push(("reuses", Json::from(reuses)));
+            PatternKind::Tiled { tile_lines, reuses }
+        }
+        "working_set_mix" => {
+            let Some(Json::Arr(levels)) = f.get("levels") else {
+                return Err(ApiError::bad(
+                    "working_set_mix requires levels: [[weight, fraction], ...]",
+                ));
+            };
+            let mut parsed = Vec::new();
+            for level in levels {
+                let Json::Arr(pair) = level else {
+                    return Err(ApiError::bad("each level must be [weight, fraction]"));
+                };
+                let [w, frac] = pair.as_slice() else {
+                    return Err(ApiError::bad("each level must be [weight, fraction]"));
+                };
+                let (w, frac) = (as_f64(w, "level weight")?, as_f64(frac, "level fraction")?);
+                if w <= 0.0 || frac <= 0.0 {
+                    return Err(ApiError::bad(
+                        "level weights and fractions must be positive",
+                    ));
+                }
+                parsed.push((w, frac));
+            }
+            if parsed.is_empty() {
+                return Err(ApiError::bad("levels must be non-empty"));
+            }
+            extra.push((
+                "levels",
+                Json::Arr(
+                    parsed
+                        .iter()
+                        .map(|&(w, frac)| Json::Arr(vec![Json::from(w), Json::from(frac)]))
+                        .collect(),
+                ),
+            ));
+            PatternKind::WorkingSetMix { levels: parsed }
+        }
+        other => {
+            return Err(ApiError::bad(format!(
+                "unknown pattern kind {other:?}; one of global_sweep, streaming, \
+                 working_set_mix, tiled, pointer_chase"
+            )));
+        }
+    };
+
+    let num = |f: &mut Fields<'_>, name: &'static str, default: u32| -> Result<u32, ApiError> {
+        match f.get(name) {
+            Some(v) => as_u32(v, name),
+            None => Ok(default),
+        }
+    };
+    let mem_ops_per_warp = num(&mut f, "mem_ops_per_warp", 64)?.max(1);
+    let compute_per_mem = match f.get("compute_per_mem") {
+        Some(v) => as_f64(v, "pattern.compute_per_mem")?.max(0.0),
+        None => 2.0,
+    };
+    let write_frac = match f.get("write_frac") {
+        Some(v) => as_f64(v, "pattern.write_frac")?.clamp(0.0, 1.0),
+        None => 0.0,
+    };
+    let divergence = num(&mut f, "divergence", 1)?.clamp(1, 32) as u8;
+    let tail_compute = num(&mut f, "tail_compute", 0)?;
+    let ctas = num(&mut f, "ctas", 1024)?.max(1);
+    let threads_per_cta = num(&mut f, "threads_per_cta", 256)?;
+    if !(1..=1024).contains(&threads_per_cta) {
+        return Err(ApiError::bad("threads_per_cta must be in 1..=1024"));
+    }
+    let seed = u64::from(num(&mut f, "seed", 42)?);
+    let shared_hot = match f.get("shared_hot") {
+        Some(spec) => {
+            let mut hf = Fields::new(spec, "shared_hot")?;
+            let prob = match hf.get("prob") {
+                Some(v) => as_f64(v, "shared_hot.prob")?.clamp(0.0, 1.0),
+                None => return Err(ApiError::bad("shared_hot requires prob")),
+            };
+            let hot_lines = match hf.get("hot_lines") {
+                Some(v) => u64::from(as_u32(v, "shared_hot.hot_lines")?.max(1)),
+                None => return Err(ApiError::bad("shared_hot requires hot_lines")),
+            };
+            hf.finish()?;
+            Some((prob, hot_lines))
+        }
+        None => None,
+    };
+    f.finish()?;
+
+    let mut spec = PatternSpec::new(kind, scale.mb_to_model_lines(footprint_mb))
+        .mem_ops_per_warp(mem_ops_per_warp)
+        .compute_per_mem(compute_per_mem)
+        .write_frac(write_frac)
+        .divergence(divergence)
+        .tail_compute(tail_compute);
+    if let Some((prob, hot_lines)) = shared_hot {
+        spec = spec.shared_hot(prob, hot_lines);
+    }
+    let workload = Workload::new(
+        "pattern",
+        seed,
+        vec![Kernel::new("pattern", ctas, threads_per_cta, spec)],
+    )
+    .with_footprint_mb(footprint_mb);
+
+    let mut normalized: Vec<(&'static str, Json)> = vec![
+        ("kind", Json::from(kind_name.as_str())),
+        ("footprint_mb", Json::from(footprint_mb)),
+    ];
+    normalized.extend(extra);
+    normalized.extend([
+        ("mem_ops_per_warp", Json::from(mem_ops_per_warp)),
+        ("compute_per_mem", Json::from(compute_per_mem)),
+        ("write_frac", Json::from(write_frac)),
+        ("divergence", Json::from(u32::from(divergence))),
+        ("tail_compute", Json::from(tail_compute)),
+        ("ctas", Json::from(ctas)),
+        ("threads_per_cta", Json::from(threads_per_cta)),
+        ("seed", Json::from(seed)),
+    ]);
+    if let Some((prob, hot_lines)) = shared_hot {
+        normalized.push((
+            "shared_hot",
+            obj([
+                ("prob", Json::from(prob)),
+                ("hot_lines", Json::from(hot_lines)),
+            ]),
+        ));
+    }
+    Ok((workload, obj(normalized)))
+}
+
+/// Spells out every field of a derived [`GpuConfig`] — an explicit
+/// encoder, not `Debug`, so the canonical form is a deliberate contract:
+/// adding a config field without extending this is a compile error.
+fn encode_config(c: &GpuConfig) -> String {
+    // Exhaustive destructuring: a new field breaks this build until the
+    // encoding (and thereby cache invalidation) accounts for it.
+    let GpuConfig {
+        n_sms,
+        sm_clock_ghz,
+        warps_per_sm,
+        max_threads_per_sm,
+        l1_bytes,
+        l1_ways,
+        l1_mshrs,
+        l1_latency,
+        line_bytes,
+        llc_bytes_total,
+        llc_slices,
+        llc_ways,
+        llc_latency,
+        noc_gbs,
+        noc_hop_latency,
+        dram_gbs_per_mc,
+        n_mcs,
+        dram_latency,
+        llc_policy,
+        dram_banks_per_mc,
+        sim_threads: _, // host execution knob: results are identical
+        mem_scale,
+    } = c;
+    format!(
+        "n_sms={n_sms};clock={sm_clock_ghz};warps={warps_per_sm};threads={max_threads_per_sm};\
+         l1={l1_bytes}/{l1_ways}w/{l1_mshrs}m/{l1_latency}c;line={line_bytes};\
+         llc={llc_bytes_total}/{llc_slices}s/{llc_ways}w/{llc_latency}c;\
+         noc={noc_gbs}/{noc_hop_latency}c;dram={dram_gbs_per_mc}x{n_mcs}/{dram_latency}c;\
+         policy={llc_policy:?};banks={dram_banks_per_mc};scale={}",
+        mem_scale.divisor()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(body: &str) -> Result<Plan, ApiError> {
+        parse_request(body.as_bytes())
+    }
+
+    #[test]
+    fn normalization_fills_defaults_and_sorts_targets() {
+        let p = plan(r#"{"workload": "bfs", "targets": [128, 64, 128]}"#).unwrap();
+        assert_eq!(p.small, 8);
+        assert_eq!(p.large, 16);
+        assert_eq!(p.targets, vec![64, 128]);
+        assert_eq!(p.ladder, vec![8, 16, 32, 64, 128]);
+        let rendered = p.normalized.render();
+        assert!(rendered.contains("\"suite\":\"strong\""), "{rendered}");
+        assert!(rendered.contains("\"mem_scale\":8"), "{rendered}");
+    }
+
+    #[test]
+    fn equivalent_requests_share_one_canonical_form() {
+        // Explicit defaults, reordered fields, duplicate targets — all
+        // the same content address.
+        let a = plan(r#"{"workload": "bfs", "target_sms": 128}"#).unwrap();
+        let b = plan(
+            r#"{"mem_scale": 8, "targets": [128], "scale_models": [8, 16],
+                "suite": "strong", "workload": "bfs"}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical, b.canonical);
+        // A different miniature is a different address.
+        let c = plan(r#"{"workload": "bfs", "target_sms": 128, "mem_scale": 16}"#).unwrap();
+        assert_ne!(a.canonical, c.canonical);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_shapes() {
+        assert!(plan(r#"{"workload": "bfs", "target_sms": 128, "tyop": 1}"#)
+            .unwrap_err()
+            .message
+            .contains("unknown field"));
+        assert!(plan(r#"{"workload": "nope", "target_sms": 128}"#)
+            .unwrap_err()
+            .message
+            .contains("unknown benchmark"));
+        assert!(plan(r#"{"workload": "bfs"}"#)
+            .unwrap_err()
+            .message
+            .contains("target"));
+        assert!(plan(r#"{"workload": "bfs", "target_sms": 100}"#)
+            .unwrap_err()
+            .message
+            .contains("power-of-two"));
+        assert!(plan(r#"not json"#).unwrap_err().message.contains("JSON"));
+        assert!(
+            plan(r#"{"workload": "bfs", "pattern": {}, "target_sms": 128}"#)
+                .unwrap_err()
+                .message
+                .contains("not both")
+        );
+    }
+
+    #[test]
+    fn pattern_requests_normalize_and_build_workloads() {
+        let p = plan(
+            r#"{"pattern": {"kind": "global_sweep", "footprint_mb": 4.0, "passes": 3},
+                "target_sms": 64, "scale_models": [8, 16]}"#,
+        )
+        .unwrap();
+        let PlanKind::WithMrc(wl) = &p.kind else {
+            panic!("patterns are strong-scaling plans");
+        };
+        assert_eq!(wl.kernels().len(), 1);
+        let rendered = p.normalized.render();
+        assert!(rendered.contains("\"passes\":3"), "{rendered}");
+        assert!(rendered.contains("\"mem_ops_per_warp\":64"), "{rendered}");
+        // Unknown pattern kinds fail loudly.
+        assert!(
+            plan(r#"{"pattern": {"kind": "zigzag", "footprint_mb": 1.0}, "target_sms": 64}"#)
+                .unwrap_err()
+                .message
+                .contains("unknown pattern kind")
+        );
+    }
+
+    #[test]
+    fn weak_requests_build_per_size_workloads_without_mrc() {
+        let p = plan(r#"{"workload": "vaw", "suite": "weak", "target_sms": 128}"#);
+        // Use whatever the weak suite actually calls its first benchmark.
+        let abbr = weak_suite(MemScale::default())[0].abbr;
+        let p = match p {
+            Ok(p) => p,
+            Err(_) => plan(&format!(
+                r#"{{"workload": "{abbr}", "suite": "weak", "target_sms": 128}}"#
+            ))
+            .unwrap(),
+        };
+        assert!(matches!(p.kind, PlanKind::PerSize { .. }));
+    }
+
+    #[test]
+    fn config_encoding_is_exhaustive_and_scale_sensitive() {
+        let a = encode_config(&GpuConfig::paper_target(8, MemScale::default()));
+        let b = encode_config(&GpuConfig::paper_target(8, MemScale::new(16)));
+        assert_ne!(a, b);
+        assert!(a.contains("n_sms=8"));
+        // sim_threads must NOT affect the address (results are identical).
+        let mut cfg = GpuConfig::paper_target(8, MemScale::default());
+        cfg.sim_threads = 7;
+        assert_eq!(a, encode_config(&cfg));
+    }
+}

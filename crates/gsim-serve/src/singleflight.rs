@@ -1,0 +1,146 @@
+//! Single-flight request deduplication.
+//!
+//! N concurrent requests for the same content address must cost one
+//! simulation. The first arrival becomes the *leader* and receives a
+//! [`Promise`]; everyone else becomes a *follower* holding a
+//! [`JobHandle`] on the same slot and blocks until the leader publishes.
+//! The pair comes from [`gsim_runner::handle`]; this module only adds
+//! the keyed registry and the leader-crash safety net (a dropped,
+//! unpublished promise wakes followers with
+//! [`Abandoned`](gsim_runner::Abandoned) instead of deadlocking them).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use gsim_runner::{job_handle, JobHandle, Promise};
+
+/// What [`SingleFlight::join`] hands back.
+pub enum Role<T> {
+    /// First arrival: compute the value, then [`SingleFlight::publish`]
+    /// it through this promise.
+    Leader(Promise<T>),
+    /// Later arrival: `wait()` for the leader's value.
+    Follower(JobHandle<T>),
+}
+
+/// A keyed registry of in-flight computations.
+#[derive(Default)]
+pub struct SingleFlight<T> {
+    inflight: Mutex<HashMap<u64, JobHandle<T>>>,
+}
+
+impl<T> SingleFlight<T> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`: the first caller per key becomes the
+    /// leader, every caller until [`publish`](Self::publish) a follower.
+    /// A flight whose leader died without publishing (its promise was
+    /// dropped) is replaced, so one crash never wedges a key forever.
+    pub fn join(&self, key: u64) -> Role<T> {
+        let mut inflight = self.lock();
+        if let Some(handle) = inflight.get(&key) {
+            if !handle.is_abandoned() {
+                return Role::Follower(handle.clone());
+            }
+        }
+        let (promise, handle) = job_handle();
+        inflight.insert(key, handle);
+        Role::Leader(promise)
+    }
+
+    /// Publishes the leader's value: removes the key (new arrivals start
+    /// a fresh flight — by then the result sits in the cache) and wakes
+    /// every follower.
+    pub fn publish(&self, key: u64, promise: Promise<T>, value: T) {
+        self.lock().remove(&key);
+        promise.set(value);
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no computation is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobHandle<T>>> {
+        self.inflight.lock().expect("single-flight lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn one_leader_many_followers() {
+        let sf = Arc::new(SingleFlight::<u32>::new());
+        let computations = Arc::new(AtomicU32::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                let computations = Arc::clone(&computations);
+                std::thread::spawn(move || match sf.join(42) {
+                    Role::Leader(promise) => {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Linger so the other threads all arrive as
+                        // followers of this flight.
+                        std::thread::sleep(Duration::from_millis(100));
+                        sf.publish(42, promise, 7);
+                        7
+                    }
+                    Role::Follower(handle) => *handle.wait().expect("leader published"),
+                })
+            })
+            .collect();
+        let values: Vec<u32> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert!(values.iter().all(|&v| v == 7));
+        assert!(sf.is_empty(), "flight cleared after publish");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let sf = SingleFlight::<&'static str>::new();
+        let Role::Leader(p1) = sf.join(1) else {
+            panic!("first join must lead")
+        };
+        let Role::Leader(p2) = sf.join(2) else {
+            panic!("distinct key must lead its own flight")
+        };
+        assert_eq!(sf.len(), 2);
+        sf.publish(1, p1, "one");
+        sf.publish(2, p2, "two");
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn dropped_leader_wakes_followers_with_abandoned() {
+        let sf = SingleFlight::<u32>::new();
+        let Role::Leader(promise) = sf.join(9) else {
+            panic!("must lead")
+        };
+        let Role::Follower(handle) = sf.join(9) else {
+            panic!("must follow")
+        };
+        drop(promise); // leader died without publishing
+        assert!(
+            handle.wait().is_err(),
+            "follower sees Abandoned, not a hang"
+        );
+        // The stale key must not poison future flights: the next joiner
+        // notices the abandoned handle and becomes the new leader.
+        assert!(matches!(sf.join(9), Role::Leader(_)));
+    }
+}
