@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test lint bench bench-smoke
+.PHONY: build test lint bench bench-smoke trace-smoke
 
 build:
 	cargo build --release
@@ -23,3 +23,10 @@ bench:
 bench-smoke:
 	GSIM_BENCH_FAST=1 cargo bench -p gsim-bench --bench simulator
 	GSIM_BENCH_FAST=1 cargo bench -p gsim-bench --bench mrc_engines
+
+# End-to-end trace smoke (DESIGN.md §12): record → ingest → info → serve,
+# then predict-from-trace must match the synthetic prediction bit for bit
+# without new timing simulations. Used by CI.
+trace-smoke:
+	cargo build --release -p gsim-bench --bin gsim
+	bash scripts/trace_smoke.sh

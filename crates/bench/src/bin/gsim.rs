@@ -6,9 +6,13 @@
 //! gsim sweep <benchmark> [--scale D] [--threads N] [--weak] [--sim-threads N]
 //! gsim mcm <benchmark> [--chiplets C] [--scale D] [--sim-threads N]
 //! gsim mrc <benchmark> [--scale D]
+//! gsim trace record <benchmark> [-o FILE] [--scale D] [--format 1|2] [--weak --sms N]
+//! gsim trace ingest <file> [--store DIR] [--max-trace-mb N]
+//! gsim trace info <file|ref> [--store DIR] [--mrc] [--max-trace-mb N]
+//! gsim trace ls [--store DIR]
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
 //! gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]
-//! gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
+//! gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
@@ -18,6 +22,17 @@
 //! curve with region labels; `serve` runs the gsim-serve HTTP prediction
 //! service until `POST /v1/shutdown` arrives or stdin reaches EOF.
 //!
+//! `trace` manages the content-addressed trace store (default
+//! `./tracestore`, override with `--store`): `record` captures a suite
+//! benchmark to a `.gstr` file (v2 framed format by default, `--format 1`
+//! for the legacy buffer format), `ingest` validates and stores a trace
+//! under its content hash, `info` streams a file (or a stored `ref`)
+//! printing its metadata — with `--mrc`, also a stack-distance miss-rate
+//! curve collected without the timing simulator — and `ls` lists the
+//! store. Trace decode failures map to distinct exit codes: 3 = not a
+//! trace, 4 = unsupported version, 5 = corrupt, 6 = over the size limit
+//! (`--max-trace-mb`), 1 = I/O.
+//!
 //! `--sim-threads N` shards each simulation's per-SM phase over N threads
 //! (`--threads` parallelises *across* sweep jobs instead; under `serve`
 //! it sizes the HTTP worker pool). Results are bit-identical for any
@@ -26,12 +41,15 @@
 use std::fs::File;
 use std::process::exit;
 
-use gsim_core::{detect_cliff, SizedMrc};
+use gsim_core::{detect_cliff, mrc_from_trace, SizedMrc};
 use gsim_runner::{ProgressReporter, Runner, RunnerConfig};
 use gsim_sim::{collect_mrc, ChipletConfig, GpuConfig, SimStats, Simulator};
 use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_benchmark, weak_suite};
-use gsim_trace::{MemScale, TracedWorkload, Workload, WorkloadModel};
+use gsim_trace::{
+    MemScale, TraceLimits, TraceReadError, TraceReader, TracedWorkload, Workload, WorkloadModel,
+};
+use gsim_tracestore::{StoreConfig, StoreError, TraceStore};
 
 fn usage() -> ! {
     eprintln!(
@@ -39,9 +57,15 @@ fn usage() -> ! {
          [--banked-dram BANKS] [--weak] [--sim-threads N]\n  gsim sweep <benchmark> [--scale D] \
          [--threads N] [--weak] [--sim-threads N]\n  gsim mcm <benchmark> [--chiplets C] \
          [--scale D] [--sim-threads N]\n  \
-         gsim mrc <benchmark> [--scale D]\n  gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
+         gsim mrc <benchmark> [--scale D]\n  \
+         gsim trace record <benchmark> [-o FILE] [--scale D] [--format 1|2] [--weak --sms N]\n  \
+         gsim trace ingest <file> [--store DIR] [--max-trace-mb N]\n  \
+         gsim trace info <file|ref> [--store DIR] [--mrc] [--max-trace-mb N]\n  \
+         gsim trace ls [--store DIR]\n  \
+         gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
          gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]\n  \
-         gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--runner-threads N]"
+         gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR] \
+         [--runner-threads N]"
     );
     exit(2)
 }
@@ -57,6 +81,10 @@ struct Flags {
     weak: bool,
     addr: String,
     cache_dir: Option<String>,
+    store: Option<String>,
+    format: u8,
+    max_trace_mb: u64,
+    mrc: bool,
     output: Option<String>,
     positional: Vec<String>,
 }
@@ -73,6 +101,10 @@ fn parse(args: &[String]) -> Flags {
         weak: false,
         addr: "127.0.0.1:8191".to_string(),
         cache_dir: None,
+        store: None,
+        format: 2,
+        max_trace_mb: 0,
+        mrc: false,
         output: None,
         positional: Vec::new(),
     };
@@ -113,6 +145,28 @@ fn parse(args: &[String]) -> Flags {
                     exit(2)
                 }
             },
+            "--store" => match it.next() {
+                Some(d) => f.store = Some(d.clone()),
+                None => {
+                    eprintln!("--store takes a directory");
+                    exit(2)
+                }
+            },
+            "--format" => {
+                f.format = num("--format") as u8;
+                if !matches!(f.format, 1 | 2) {
+                    eprintln!("--format must be 1 or 2");
+                    exit(2)
+                }
+            }
+            "--max-trace-mb" => {
+                f.max_trace_mb = u64::from(num("--max-trace-mb"));
+                if f.max_trace_mb == 0 {
+                    eprintln!("--max-trace-mb must be >= 1");
+                    exit(2)
+                }
+            }
+            "--mrc" => f.mrc = true,
             "-o" | "--output" => f.output = it.next().cloned(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
@@ -142,6 +196,206 @@ fn print_stats(label: &str, st: &SimStats) {
     );
     println!("  simulated in      {:>12.2} s", st.sim_wall_seconds);
     println!("  sim cycles/sec    {:>14.0}", st.sim_cycles_per_second());
+}
+
+/// Exit code for a trace decode failure. Each failure class gets its own
+/// code so scripts (and the CI smoke job) can distinguish "you fed me a
+/// PNG" from "this trace is truncated".
+fn trace_exit(context: &str, e: &TraceReadError) -> ! {
+    eprintln!("{context}: {e}");
+    exit(match e {
+        TraceReadError::NotATrace => 3,
+        TraceReadError::UnsupportedVersion(_) => 4,
+        TraceReadError::Corrupt(_) => 5,
+        TraceReadError::TooLarge(_) => 6,
+        TraceReadError::Io(_) => 1,
+    })
+}
+
+/// Decode limits honouring `--max-trace-mb`.
+fn trace_limits(f: &Flags) -> TraceLimits {
+    let limits = TraceLimits::default();
+    if f.max_trace_mb == 0 {
+        limits
+    } else {
+        limits.with_max_file_bytes(f.max_trace_mb * 1024 * 1024)
+    }
+}
+
+/// Opens the content-addressed trace store at `--store` (default
+/// `./tracestore`).
+fn open_store(f: &Flags) -> TraceStore {
+    let root = f.store.clone().unwrap_or_else(|| "tracestore".to_string());
+    TraceStore::open(
+        root.clone(),
+        StoreConfig {
+            limits: trace_limits(f),
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open trace store {root}: {e}");
+        exit(1)
+    })
+}
+
+/// `gsim trace <record|ingest|info|ls>`.
+fn cmd_trace(f: &Flags) {
+    let sub = f.positional.first().map(String::as_str);
+    match sub {
+        Some("record") => {
+            let Some(name) = f.positional.get(1) else {
+                eprintln!("trace record takes a benchmark name");
+                exit(2)
+            };
+            let wl = if f.weak {
+                weak_benchmark(name, f.scale)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown weak benchmark {name}");
+                        exit(2)
+                    })
+                    .workload_for_sms(f.sms)
+            } else {
+                strong_benchmark(name, f.scale)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown benchmark {name}; try `gsim list`");
+                        exit(2)
+                    })
+                    .workload
+            };
+            let out = f.output.clone().unwrap_or_else(|| format!("{name}.gstr"));
+            let file = File::create(&out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            let write = if f.format == 1 {
+                gsim_trace::write_trace_v1
+            } else {
+                gsim_trace::write_trace
+            };
+            let bytes = write(&wl, file).unwrap_or_else(|e| {
+                eprintln!("trace write failed: {e}");
+                exit(1)
+            });
+            println!(
+                "wrote {out}: v{} format, {bytes} bytes, ref {:016x}",
+                f.format,
+                gsim_trace::semantic_hash_of(&wl)
+            );
+        }
+        Some("ingest") => {
+            let Some(path) = f.positional.get(1) else {
+                eprintln!("trace ingest takes a trace file");
+                exit(2)
+            };
+            let store = open_store(f);
+            match store.ingest_file(std::path::Path::new(path)) {
+                Ok((meta, dedup)) => println!(
+                    "{} {} ({} warps, {} warp instrs, {} bytes){}",
+                    meta.trace_ref,
+                    meta.name,
+                    meta.total_warps,
+                    meta.total_warp_instrs,
+                    meta.bytes,
+                    if dedup { "  [already stored]" } else { "" }
+                ),
+                Err(StoreError::Invalid(e)) => trace_exit(&format!("cannot ingest {path}"), &e),
+                Err(e) => {
+                    eprintln!("cannot ingest {path}: {e}");
+                    exit(1)
+                }
+            }
+        }
+        Some("info") => {
+            let Some(target) = f.positional.get(1) else {
+                eprintln!("trace info takes a trace file or a stored ref");
+                exit(2)
+            };
+            // A bare 16-hex-digit name that is not a file resolves
+            // through the store.
+            let path = if !std::path::Path::new(target).exists()
+                && target.len() == 16
+                && target.chars().all(|c| c.is_ascii_hexdigit())
+            {
+                open_store(f)
+                    .blob_path(&target.to_ascii_lowercase())
+                    .unwrap_or_else(|| {
+                        eprintln!("no trace {target} in store");
+                        exit(1)
+                    })
+            } else {
+                std::path::PathBuf::from(target)
+            };
+            let file = File::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", path.display());
+                exit(1)
+            });
+            let mut reader = TraceReader::with_limits(file, trace_limits(f))
+                .unwrap_or_else(|e| trace_exit(&format!("bad trace {}", path.display()), &e));
+            let version = reader.version();
+            let name = reader.name().to_string();
+            let kernels = reader.kernels().to_vec();
+            // Stream the whole file for totals and the content hash; the
+            // decoder holds one chunk at a time.
+            loop {
+                match reader.next_warp() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => trace_exit(&format!("bad trace {}", path.display()), &e),
+                }
+            }
+            let st = reader.stats().expect("stats after full pass");
+            println!("trace {} (v{version} format)", path.display());
+            println!("  name              {name}");
+            println!("  ref               {:016x}", st.semantic_hash);
+            println!("  kernels           {}", kernels.len());
+            for k in &kernels {
+                println!(
+                    "    {:<20} {:>6} CTAs x {:>4} threads",
+                    k.name, k.n_ctas, k.threads_per_cta
+                );
+            }
+            println!("  warps             {}", st.total_warps);
+            println!("  ops               {}", st.total_ops);
+            println!("  warp instrs       {}", st.total_warp_instrs);
+            println!("  bytes             {}", st.bytes_read);
+            println!("  peak decode buf   {}", st.peak_buffer_bytes);
+            if f.mrc {
+                let sizes = [8u32, 16, 32, 64, 128];
+                let configs: Vec<GpuConfig> = sizes
+                    .iter()
+                    .map(|&z| GpuConfig::paper_target(z, f.scale))
+                    .collect();
+                let file = File::open(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot reopen {}: {e}", path.display());
+                    exit(1)
+                });
+                let out = mrc_from_trace(file, trace_limits(f), &configs)
+                    .unwrap_or_else(|e| trace_exit(&format!("bad trace {}", path.display()), &e));
+                println!("  miss-rate curve (stack-distance, no timing sim):");
+                for (size, mpki) in out.mrc.points() {
+                    println!("    {size:>3} SMs  MPKI {mpki:>7.2}");
+                }
+            }
+        }
+        Some("ls") => {
+            let store = open_store(f);
+            let traces = store.list();
+            if traces.is_empty() {
+                println!("trace store is empty");
+            }
+            for m in traces {
+                println!(
+                    "{} {:<16} {:>3} kernels {:>9} warps {:>12} warp instrs {:>10} bytes",
+                    m.trace_ref, m.name, m.n_kernels, m.total_warps, m.total_warp_instrs, m.bytes
+                );
+            }
+        }
+        _ => {
+            eprintln!("trace takes a subcommand: record, ingest, info, ls");
+            exit(2)
+        }
+    }
 }
 
 fn main() {
@@ -314,6 +568,7 @@ fn main() {
                 None => println!("no cliff detected"),
             }
         }
+        "trace" => cmd_trace(&f),
         "trace-dump" => {
             let name = f.positional.first().unwrap_or_else(|| usage());
             let out = f.output.unwrap_or_else(|| format!("{name}.gstr"));
@@ -341,10 +596,8 @@ fn main() {
                 eprintln!("cannot open {path}: {e}");
                 exit(1)
             });
-            let traced = TracedWorkload::read(file).unwrap_or_else(|e| {
-                eprintln!("bad trace {path}: {e}");
-                exit(1)
-            });
+            let traced = TracedWorkload::read_with_limits(file, trace_limits(&f))
+                .unwrap_or_else(|e| trace_exit(&format!("bad trace {path}"), &e));
             let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
             cfg.dram_banks_per_mc = f.banked_dram;
             cfg.sim_threads = f.sim_threads;
@@ -382,6 +635,8 @@ fn main() {
                     runner_threads: f.runner_threads,
                     cache_capacity: 0,
                     cache_dir: f.cache_dir.clone().map(Into::into),
+                    trace_store_dir: f.store.clone().map(Into::into),
+                    ..ServeConfig::default()
                 },
                 shutdown.clone(),
             )

@@ -1,5 +1,7 @@
-//! End-to-end checks of the `--sim-threads` flag on the CLI binaries.
+//! End-to-end checks of the CLI binaries: the `--sim-threads` flag and
+//! the `gsim trace` store workflow.
 
+use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn gsim(args: &[&str]) -> Output {
@@ -30,6 +32,141 @@ fn cycles_line(out: &Output) -> String {
         .find(|l| l.trim_start().starts_with("cycles"))
         .expect("gsim prints a cycles line")
         .to_string()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsim-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn gsim_trace_record_ingest_info_roundtrip() {
+    let dir = fresh_dir("trace-roundtrip");
+    let v2 = dir.join("gemm.gstr");
+    let v1 = dir.join("gemm-v1.gstr");
+    let store = dir.join("store");
+    let s = |p: &PathBuf| p.to_str().unwrap().to_string();
+
+    // Record the same benchmark in both formats: same content hash.
+    let rec2 = gsim(&["trace", "record", "gemm", "-o", &s(&v2), "--scale", "64"]);
+    assert!(rec2.status.success(), "record v2 failed: {rec2:?}");
+    let rec1 = gsim(&[
+        "trace",
+        "record",
+        "gemm",
+        "-o",
+        &s(&v1),
+        "--scale",
+        "64",
+        "--format",
+        "1",
+    ]);
+    assert!(rec1.status.success(), "record v1 failed: {rec1:?}");
+    let trace_ref = stdout_of(&rec2)
+        .split("ref ")
+        .nth(1)
+        .expect("record prints a ref")
+        .trim()
+        .to_string();
+    assert_eq!(trace_ref.len(), 16, "{trace_ref:?}");
+    assert!(
+        stdout_of(&rec1).contains(&trace_ref),
+        "v1 and v2 encodings of one workload must share a content hash:\n{}\n{}",
+        stdout_of(&rec1),
+        stdout_of(&rec2)
+    );
+
+    // Ingest the v2 file; re-ingesting the v1 encoding deduplicates
+    // because the store addresses by content, not by bytes.
+    let ing = gsim(&["trace", "ingest", &s(&v2), "--store", &s(&store)]);
+    assert!(ing.status.success(), "ingest failed: {ing:?}");
+    assert!(stdout_of(&ing).starts_with(&trace_ref), "{ing:?}");
+    let dup = gsim(&["trace", "ingest", &s(&v1), "--store", &s(&store)]);
+    assert!(dup.status.success(), "dedup ingest failed: {dup:?}");
+    assert!(stdout_of(&dup).contains("already stored"), "{dup:?}");
+
+    // `info` streams the file; `info <ref>` resolves through the store.
+    let info = gsim(&["trace", "info", &s(&v2)]);
+    assert!(info.status.success(), "info failed: {info:?}");
+    let text = stdout_of(&info);
+    assert!(text.contains(&trace_ref), "{text}");
+    assert!(text.contains("v2 format"), "{text}");
+    assert!(text.contains("warps"), "{text}");
+    let by_ref = gsim(&["trace", "info", &trace_ref, "--store", &s(&store)]);
+    assert!(by_ref.status.success(), "info by ref failed: {by_ref:?}");
+    assert!(stdout_of(&by_ref).contains(&trace_ref));
+
+    // `ls` shows the single stored entry.
+    let ls = gsim(&["trace", "ls", "--store", &s(&store)]);
+    assert!(ls.status.success(), "ls failed: {ls:?}");
+    assert!(stdout_of(&ls).contains(&trace_ref), "{ls:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gsim_trace_failures_map_to_distinct_exit_codes() {
+    let dir = fresh_dir("trace-exits");
+    let s = |p: &PathBuf| p.to_str().unwrap().to_string();
+
+    // Not a trace at all.
+    let bad = dir.join("bad.gstr");
+    std::fs::write(&bad, b"definitely not a trace").unwrap();
+    assert_eq!(gsim(&["trace", "info", &s(&bad)]).status.code(), Some(3));
+
+    // Unknown version byte after a valid magic.
+    let ver = dir.join("ver.gstr");
+    std::fs::write(&ver, b"GSTR\x09").unwrap();
+    assert_eq!(gsim(&["trace", "info", &s(&ver)]).status.code(), Some(4));
+
+    // A real trace, truncated mid-stream.
+    let good = dir.join("gemm.gstr");
+    let rec = gsim(&["trace", "record", "gemm", "-o", &s(&good), "--scale", "64"]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+    let bytes = std::fs::read(&good).unwrap();
+    let trunc = dir.join("trunc.gstr");
+    std::fs::write(&trunc, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(gsim(&["trace", "info", &s(&trunc)]).status.code(), Some(5));
+
+    // Over the configured size budget (the gemm trace is < 1 MiB, so
+    // record the larger pf workload).
+    let big = dir.join("pf.gstr");
+    let rec = gsim(&["trace", "record", "pf", "-o", &s(&big), "--scale", "64"]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+    assert!(std::fs::metadata(&big).unwrap().len() > 1024 * 1024);
+    assert_eq!(
+        gsim(&["trace", "info", &s(&big), "--max-trace-mb", "1"])
+            .status
+            .code(),
+        Some(6)
+    );
+
+    // Ingest surfaces the same codes.
+    let store = dir.join("store");
+    assert_eq!(
+        gsim(&["trace", "ingest", &s(&bad), "--store", &s(&store)])
+            .status
+            .code(),
+        Some(3)
+    );
+
+    // Usage errors stay on the usual exit 2.
+    assert_eq!(gsim(&["trace", "frobnicate"]).status.code(), Some(2));
+    assert_eq!(gsim(&["trace", "record"]).status.code(), Some(2));
+    assert_eq!(
+        gsim(&["trace", "record", "gemm", "--format", "3"])
+            .status
+            .code(),
+        Some(2)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -58,7 +58,10 @@ pub use classify::classify_scaling;
 pub use cliff::{detect_cliff, detect_cliff_with, Region, SizedMrc};
 pub use error::ModelError;
 pub use multi_cliff::{detect_cliffs, MultiCliffPredictor};
-pub use oneshot::{build_predictors, predict_targets, Forecast, Observation, TargetForecast};
+pub use oneshot::{
+    build_predictors, mrc_from_trace, predict_targets, Forecast, Observation, TargetForecast,
+    TraceMrc,
+};
 pub use parallel::{SuiteRun, SweepFailure};
 pub use predictor::{
     LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,

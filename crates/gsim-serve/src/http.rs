@@ -137,7 +137,9 @@ impl Default for ServerConfig {
         Self {
             threads: 4,
             max_header_bytes: 8 * 1024,
-            max_body_bytes: 1024 * 1024,
+            // Sized for `POST /v1/traces`: a v2 trace of a suite-scale
+            // workload is a few MiB; predict bodies are tiny regardless.
+            max_body_bytes: 16 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             max_requests_per_conn: 1000,
         }

@@ -71,6 +71,8 @@ pub struct Metrics {
     pub workloads: AtomicU64,
     /// `POST /v1/predict` requests served (any outcome).
     pub predict: AtomicU64,
+    /// `POST /v1/traces` and `GET /v1/traces` requests served.
+    pub traces: AtomicU64,
     /// `GET /metrics` requests served.
     pub metrics: AtomicU64,
     /// `POST /v1/shutdown` requests served.
@@ -89,6 +91,18 @@ pub struct Metrics {
     pub computations: AtomicU64,
     /// Predict requests rejected with a client error.
     pub predict_errors: AtomicU64,
+    /// Predict requests that named a `trace_ref` (any outcome).
+    pub predict_from_trace: AtomicU64,
+    /// Predict computations whose scale-model observations came from the
+    /// semantic-hash stage cache (no timing simulations scheduled).
+    pub stage_obs_hits: AtomicU64,
+    /// Predict computations whose miss-rate curve came from the
+    /// semantic-hash stage cache (no functional replay scheduled).
+    pub stage_mrc_hits: AtomicU64,
+    /// Detailed timing simulations actually started (excludes the
+    /// functional MRC replay job) — the counter trace-driven prediction
+    /// tests assert stays flat on stage-cache hits.
+    pub timing_sims_started: AtomicU64,
     /// Jobs started on the simulation runner pool (every attempt).
     pub runner_jobs_started: AtomicU64,
     /// Requests currently inside the handler.
@@ -107,8 +121,9 @@ impl Metrics {
     }
 
     /// Renders the `/metrics` document. `cache_entries` comes from the
-    /// cache (it owns that count).
-    pub fn to_json(&self, cache_entries: usize) -> Json {
+    /// cache and `trace_store` from the trace store (they own those
+    /// counts); pass `Json::Null` when no store is attached.
+    pub fn to_json(&self, cache_entries: usize, trace_store: Json) -> Json {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let hist = self.latency.lock().expect("latency histogram poisoned");
         obj([
@@ -119,6 +134,7 @@ impl Metrics {
                     ("healthz", Json::from(get(&self.healthz))),
                     ("workloads", Json::from(get(&self.workloads))),
                     ("predict", Json::from(get(&self.predict))),
+                    ("traces", Json::from(get(&self.traces))),
                     ("metrics", Json::from(get(&self.metrics))),
                     ("shutdown", Json::from(get(&self.shutdown))),
                     ("other", Json::from(get(&self.other))),
@@ -132,7 +148,15 @@ impl Metrics {
                     ("coalesced", Json::from(get(&self.coalesced))),
                     ("computations", Json::from(get(&self.computations))),
                     ("errors", Json::from(get(&self.predict_errors))),
+                    ("from_trace", Json::from(get(&self.predict_from_trace))),
+                    ("stage_obs_hits", Json::from(get(&self.stage_obs_hits))),
+                    ("stage_mrc_hits", Json::from(get(&self.stage_mrc_hits))),
                 ]),
+            ),
+            ("trace_store", trace_store),
+            (
+                "timing_sims_started",
+                Json::from(get(&self.timing_sims_started)),
             ),
             (
                 "runner_jobs_started",
@@ -202,7 +226,7 @@ mod tests {
         m.predict.fetch_add(3, Ordering::Relaxed);
         m.cache_hits.fetch_add(2, Ordering::Relaxed);
         m.observe_latency(Duration::from_micros(10));
-        let doc = m.to_json(7);
+        let doc = m.to_json(7, Json::Null);
         assert_eq!(
             doc.get("schema").unwrap().as_str(),
             Some("gsim-serve-metrics-v1")

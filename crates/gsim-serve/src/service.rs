@@ -8,8 +8,26 @@
 //! | `GET /healthz`      | liveness probe                                 |
 //! | `GET /v1/workloads` | the Table II / Table IV workload catalog       |
 //! | `POST /v1/predict`  | run scale models, predict the target           |
+//! | `POST /v1/traces`   | upload a trace into the content-addressed store|
+//! | `GET /v1/traces`    | list stored traces                             |
 //! | `GET /metrics`      | counters, cache stats, latency quantiles       |
 //! | `POST /v1/shutdown` | trigger cooperative shutdown                   |
+//!
+//! # Trace-driven prediction
+//!
+//! `POST /v1/traces` ingests a GSTR trace (format v1 or v2) into a
+//! [`gsim_tracestore::TraceStore`]; the returned `ref` is the trace's
+//! *semantic hash* — a content address over the decoded instruction
+//! streams, identical for any encoding of the same workload. A predict
+//! request may then name `trace_ref` instead of a workload or pattern.
+//!
+//! Because synthetic predicts key their intermediate results (the two
+//! scale-model observations and the miss-rate curve) by the same
+//! semantic hash in an in-memory *stage cache*, a trace predict whose
+//! content matches an already-predicted synthetic workload reuses both
+//! stages and schedules **zero** timing simulations; a cold trace
+//! predict runs exactly the two scale models plus the functional MRC
+//! replay.
 //!
 //! # Determinism contract
 //!
@@ -21,9 +39,10 @@
 //! `X-Gsim-Cache` response header (`hit` / `miss` / `coalesced`), not
 //! the body.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gsim_core::oneshot::{predict_targets, Observation};
@@ -32,7 +51,10 @@ use gsim_runner::{Job, Runner, RunnerConfig};
 use gsim_sim::{collect_mrc, GpuConfig, Simulator};
 use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_benchmark, weak_suite};
-use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
+use gsim_trace::{
+    semantic_hash_of, Kernel, MemScale, PatternKind, PatternSpec, TracedWorkload, Workload,
+};
+use gsim_tracestore::{StoreConfig, StoreError, StoreStats, TraceMeta, TraceStore};
 
 use crate::cache::{fnv1a, ResultCache};
 use crate::http::{Request, Response, ShutdownFlag};
@@ -55,6 +77,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Persistence directory for the result cache (`None` = memory only).
     pub cache_dir: Option<PathBuf>,
+    /// Root of the content-addressed trace store. `None` derives
+    /// `<cache_dir>/tracestore`, or a per-process temp directory when
+    /// there is no cache dir either (uploads then live for the process).
+    pub trace_store_dir: Option<PathBuf>,
+    /// Byte budget for stored trace blobs (0 = default 1 GiB).
+    pub trace_store_bytes: u64,
 }
 
 /// A client-visible error: HTTP status plus message. Cloneable so
@@ -108,19 +136,75 @@ struct Plan {
     /// The whole doubling ladder from `small` through the largest
     /// target — the MRC probe sizes.
     ladder: Vec<u32>,
+    /// The workload's semantic hash, when already known at parse time
+    /// (trace-driven plans: the trace reference *is* the hash).
+    semantic: Option<u64>,
 }
 
 #[derive(Debug)]
 enum PlanKind {
     /// Fixed workload at every size; the miss-rate curve matters
-    /// (strong-scaling benchmarks and synthetic patterns).
-    WithMrc(Workload),
+    /// (strong-scaling benchmarks, synthetic patterns, and traces).
+    WithMrc(PlanWorkload),
     /// Input grows with the machine; no MRC (weak scaling, Table IV).
     PerSize {
         small_wl: Workload,
         large_wl: Workload,
     },
 }
+
+/// A fixed workload a plan simulates: synthetic (generated streams) or
+/// trace-driven (replayed streams). Both implement
+/// [`gsim_trace::WorkloadModel`], so the simulator, functional replay,
+/// and semantic hash treat them uniformly.
+#[derive(Debug, Clone)]
+enum PlanWorkload {
+    Synthetic(Workload),
+    Traced(Arc<TracedWorkload>),
+}
+
+impl PlanWorkload {
+    fn semantic_hash(&self) -> u64 {
+        match self {
+            Self::Synthetic(wl) => semantic_hash_of(wl),
+            Self::Traced(wl) => semantic_hash_of(&**wl),
+        }
+    }
+
+    fn simulate(&self, cfg: GpuConfig) -> gsim_sim::SimStats {
+        match self {
+            Self::Synthetic(wl) => Simulator::new(cfg, wl).run(),
+            Self::Traced(wl) => Simulator::new(cfg, &**wl).run(),
+        }
+    }
+
+    /// Functional-replay MPKI at each config's LLC capacity, in order.
+    fn mrc_mpki(&self, configs: &[GpuConfig]) -> Vec<f64> {
+        let curve = match self {
+            Self::Synthetic(wl) => collect_mrc(wl, configs),
+            Self::Traced(wl) => collect_mrc(&**wl, configs),
+        };
+        curve.points().iter().map(|p| p.mpki).collect()
+    }
+}
+
+/// Deterministic intermediate results keyed by `(semantic hash, derived
+/// config encodings)`. Both stages are pure functions of the workload's
+/// instruction streams and the GPU configs, so a synthetic workload and
+/// a trace of it share entries — which is what lets a trace-driven
+/// predict skip the timing simulator entirely when the synthetic path
+/// already ran (and vice versa).
+#[derive(Default)]
+struct StageCache {
+    /// `(hash, small|large config)` → the two scale-model observations.
+    observations: Mutex<HashMap<StageKey, (SimPoint, SimPoint)>>,
+    /// `(hash, ladder configs)` → `(size, mpki)` miss-rate-curve points.
+    mrcs: Mutex<HashMap<StageKey, Vec<(u32, f64)>>>,
+}
+
+/// Stage-cache key: the workload's semantic hash plus the exhaustive
+/// encoding of every config involved in the stage.
+type StageKey = (u64, String);
 
 /// One scale-model simulation's deterministic outputs.
 #[derive(Debug, Clone)]
@@ -145,16 +229,19 @@ pub struct PredictService {
     cache: ResultCache,
     flights: SingleFlight<Outcome>,
     metrics: Arc<Metrics>,
+    store: TraceStore,
+    stages: StageCache,
     shutdown: ShutdownFlag,
 }
 
 impl PredictService {
     /// Builds the service: runner pool, cache (loading any persisted
-    /// entries), metrics.
+    /// entries), trace store, metrics.
     ///
     /// # Errors
     ///
-    /// Returns an error if the cache directory cannot be prepared.
+    /// Returns an error if the cache or trace-store directory cannot be
+    /// prepared.
     pub fn new(cfg: ServeConfig, shutdown: ShutdownFlag) -> std::io::Result<Arc<Self>> {
         let metrics = Arc::new(Metrics::default());
         let runner = Runner::new(RunnerConfig {
@@ -168,11 +255,32 @@ impl PredictService {
         } else {
             cfg.cache_capacity
         };
+        let store_root = cfg
+            .trace_store_dir
+            .clone()
+            .unwrap_or_else(|| match &cfg.cache_dir {
+                Some(dir) => dir.join("tracestore"),
+                None => std::env::temp_dir()
+                    .join(format!("gsim-serve-tracestore-{}", std::process::id())),
+            });
+        let store = TraceStore::open(
+            store_root,
+            StoreConfig {
+                max_bytes: if cfg.trace_store_bytes == 0 {
+                    1 << 30
+                } else {
+                    cfg.trace_store_bytes
+                },
+                ..StoreConfig::default()
+            },
+        )?;
         Ok(Arc::new(Self {
             runner,
             cache: ResultCache::new(capacity, cfg.cache_dir)?,
             flights: SingleFlight::new(),
             metrics: Arc::clone(&metrics),
+            store,
+            stages: StageCache::default(),
             shutdown,
         }))
     }
@@ -180,6 +288,11 @@ impl PredictService {
     /// The service's metrics registry.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The service's trace store (shared with `POST /v1/traces`).
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.store
     }
 
     /// The HTTP router: the function handed to [`crate::http::Server`].
@@ -207,16 +320,29 @@ impl PredictService {
                 bump(&self.metrics.predict);
                 self.predict(&req.body)
             }
+            ("POST", "/v1/traces") => {
+                bump(&self.metrics.traces);
+                self.trace_upload(&req.body)
+            }
+            ("GET", "/v1/traces") => {
+                bump(&self.metrics.traces);
+                self.trace_list()
+            }
             ("GET", "/metrics") => {
                 bump(&self.metrics.metrics);
-                Response::json(200, self.metrics.to_json(self.cache.len()).render())
+                let store = store_stats_json(&self.store.stats());
+                Response::json(200, self.metrics.to_json(self.cache.len(), store).render())
             }
             ("POST", "/v1/shutdown") => {
                 bump(&self.metrics.shutdown);
                 self.shutdown.trigger();
                 Response::json(200, obj([("status", Json::from("shutting-down"))]).render())
             }
-            (_, "/healthz" | "/v1/workloads" | "/v1/predict" | "/metrics" | "/v1/shutdown") => {
+            (
+                _,
+                "/healthz" | "/v1/workloads" | "/v1/predict" | "/v1/traces" | "/metrics"
+                | "/v1/shutdown",
+            ) => {
                 bump(&self.metrics.other);
                 ApiError {
                     status: 405,
@@ -235,16 +361,55 @@ impl PredictService {
         }
     }
 
+    /// `POST /v1/traces`: validate and ingest a trace upload (raw GSTR
+    /// bytes, v1 or v2) into the content-addressed store.
+    fn trace_upload(&self, body: &[u8]) -> Response {
+        if body.is_empty() {
+            return ApiError::bad("empty trace upload; send the raw .gstr bytes").response();
+        }
+        match self.store.ingest_bytes(body) {
+            Ok((meta, dedup)) => {
+                let mut doc = vec![("schema", Json::from("gsim-serve-trace-v1"))];
+                doc.extend(trace_meta_fields(&meta));
+                doc.push(("deduplicated", Json::from(dedup)));
+                Response::json(200, obj(doc).render())
+                    .with_header("X-Gsim-Trace", if dedup { "dedup" } else { "new" })
+            }
+            Err(StoreError::Invalid(e)) => ApiError::bad(format!("invalid trace: {e}")).response(),
+            Err(e) => ApiError::internal(format!("trace store failure: {e}")).response(),
+        }
+    }
+
+    /// `GET /v1/traces`: the stored-trace catalog, oldest first.
+    fn trace_list(&self) -> Response {
+        let traces: Vec<Json> = self
+            .store
+            .list()
+            .iter()
+            .map(|m| obj(trace_meta_fields(m)))
+            .collect();
+        let body = obj([
+            ("schema", Json::from("gsim-serve-traces-v1")),
+            ("traces", Json::Arr(traces)),
+        ]);
+        Response::json(200, body.render())
+    }
+
     /// `POST /v1/predict`: normalize, address, then hit the cache, join
     /// an identical in-flight computation, or lead a new one.
     fn predict(&self, body: &[u8]) -> Response {
-        let plan = match parse_request(body) {
+        let plan = match parse_request(body, Some(&self.store)) {
             Ok(plan) => plan,
             Err(e) => {
                 self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
                 return e.response();
             }
         };
+        if matches!(plan.kind, PlanKind::WithMrc(PlanWorkload::Traced(_))) {
+            self.metrics
+                .predict_from_trace
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let key = fnv1a(plan.canonical.as_bytes());
         if let Some(cached) = self.cache.get(key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -293,12 +458,20 @@ impl PredictService {
     /// Runs the scale-model simulations (and, for MRC plans, the
     /// functional replay) as jobs on the runner pool, then the one-shot
     /// predictor, and renders the response body.
+    ///
+    /// Strong-scaling plans first consult the [`StageCache`]: when both
+    /// the observations and the miss-rate curve are cached under the
+    /// workload's semantic hash, no jobs are scheduled at all — the
+    /// path that makes a trace predict of an already-seen workload
+    /// simulation-free.
     fn compute(&self, plan: &Plan, key: u64) -> Result<String, ApiError> {
         let cfg_of = |sms: u32| GpuConfig::paper_target(sms, plan.scale);
-        let sim_job = |label: String, sms: u32, wl: Workload| {
+        let sim_job = |label: String, sms: u32, wl: PlanWorkload| {
             let cfg = cfg_of(sms);
+            let metrics = Arc::clone(&self.metrics);
             Job::new(label, move || {
-                let stats = Simulator::new(cfg.clone(), &wl).run();
+                metrics.timing_sims_started.fetch_add(1, Ordering::Relaxed);
+                let stats = wl.simulate(cfg.clone());
                 SimOut::Point(SimPoint {
                     size: sms,
                     ipc: stats.sustained_ipc(),
@@ -309,55 +482,102 @@ impl PredictService {
             })
         };
         let mut jobs = Vec::new();
+        let mut cached_obs: Option<(SimPoint, SimPoint)> = None;
+        let mut mrc_points: Option<Vec<(u32, f64)>> = None;
+        let mut stage_keys: Option<((u64, String), (u64, String))> = None;
         match &plan.kind {
             PlanKind::WithMrc(wl) => {
-                jobs.push(sim_job(
-                    format!("sim@{}sm", plan.small),
-                    plan.small,
-                    wl.clone(),
-                ));
-                jobs.push(sim_job(
-                    format!("sim@{}sm", plan.large),
-                    plan.large,
-                    wl.clone(),
-                ));
-                let mrc_wl = wl.clone();
-                let configs: Vec<GpuConfig> = plan.ladder.iter().map(|&s| cfg_of(s)).collect();
-                let sizes = plan.ladder.clone();
-                jobs.push(Job::new("mrc", move || {
-                    let curve = collect_mrc(&mrc_wl, &configs);
-                    SimOut::Mrc(
-                        sizes
-                            .iter()
-                            .zip(curve.points())
-                            .map(|(&s, p)| (s, p.mpki))
-                            .collect(),
-                    )
-                }));
+                let sem = plan.semantic.unwrap_or_else(|| wl.semantic_hash());
+                let obs_key = (
+                    sem,
+                    format!(
+                        "{}|{}",
+                        encode_config(&cfg_of(plan.small)),
+                        encode_config(&cfg_of(plan.large))
+                    ),
+                );
+                let mrc_key = (
+                    sem,
+                    plan.ladder
+                        .iter()
+                        .map(|&s| encode_config(&cfg_of(s)))
+                        .collect::<Vec<_>>()
+                        .join("|"),
+                );
+                cached_obs = self
+                    .stages
+                    .observations
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .get(&obs_key)
+                    .cloned();
+                mrc_points = self
+                    .stages
+                    .mrcs
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .get(&mrc_key)
+                    .cloned();
+                if cached_obs.is_some() {
+                    self.metrics.stage_obs_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    jobs.push(sim_job(
+                        format!("sim@{}sm", plan.small),
+                        plan.small,
+                        wl.clone(),
+                    ));
+                    jobs.push(sim_job(
+                        format!("sim@{}sm", plan.large),
+                        plan.large,
+                        wl.clone(),
+                    ));
+                }
+                if mrc_points.is_some() {
+                    self.metrics.stage_mrc_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let mrc_wl = wl.clone();
+                    let configs: Vec<GpuConfig> = plan.ladder.iter().map(|&s| cfg_of(s)).collect();
+                    let sizes = plan.ladder.clone();
+                    jobs.push(Job::new("mrc", move || {
+                        SimOut::Mrc(
+                            sizes
+                                .iter()
+                                .copied()
+                                .zip(mrc_wl.mrc_mpki(&configs))
+                                .collect(),
+                        )
+                    }));
+                }
+                stage_keys = Some((obs_key, mrc_key));
             }
             PlanKind::PerSize { small_wl, large_wl } => {
                 jobs.push(sim_job(
                     format!("sim@{}sm", plan.small),
                     plan.small,
-                    small_wl.clone(),
+                    PlanWorkload::Synthetic(small_wl.clone()),
                 ));
                 jobs.push(sim_job(
                     format!("sim@{}sm", plan.large),
                     plan.large,
-                    large_wl.clone(),
+                    PlanWorkload::Synthetic(large_wl.clone()),
                 ));
             }
         }
-        let reports = self.runner.run(&format!("predict-{key:016x}"), jobs);
         let mut points: Vec<SimPoint> = Vec::new();
-        let mut mrc_points: Option<Vec<(u32, f64)>> = None;
-        for report in reports {
-            let name = report.name.clone();
-            match report.into_ok() {
-                Some(SimOut::Point(p)) => points.push(p),
-                Some(SimOut::Mrc(m)) => mrc_points = Some(m),
-                None => {
-                    return Err(ApiError::internal(format!("job {name} failed")));
+        if let Some((a, b)) = cached_obs {
+            points.push(a);
+            points.push(b);
+        }
+        if !jobs.is_empty() {
+            let reports = self.runner.run(&format!("predict-{key:016x}"), jobs);
+            for report in reports {
+                let name = report.name.clone();
+                match report.into_ok() {
+                    Some(SimOut::Point(p)) => points.push(p),
+                    Some(SimOut::Mrc(m)) => mrc_points = Some(m),
+                    None => {
+                        return Err(ApiError::internal(format!("job {name} failed")));
+                    }
                 }
             }
         }
@@ -365,6 +585,22 @@ impl PredictService {
         let [small, large] = points.as_slice() else {
             return Err(ApiError::internal("scale-model simulations missing"));
         };
+        if let Some((obs_key, mrc_key)) = stage_keys {
+            self.stages
+                .observations
+                .lock()
+                .expect("stage cache poisoned")
+                .entry(obs_key)
+                .or_insert_with(|| (small.clone(), large.clone()));
+            if let Some(pts) = &mrc_points {
+                self.stages
+                    .mrcs
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .entry(mrc_key)
+                    .or_insert_with(|| pts.clone());
+            }
+        }
         let mrc = mrc_points
             .as_ref()
             .map(|pts| gsim_core::SizedMrc::new(pts.iter().copied()));
@@ -475,6 +711,32 @@ fn workloads_json() -> Json {
     ])
 }
 
+/// The fields of one stored trace's catalog entry (shared by the upload
+/// response and `GET /v1/traces`).
+fn trace_meta_fields(m: &TraceMeta) -> Vec<(&'static str, Json)> {
+    vec![
+        ("ref", Json::from(m.trace_ref.as_str())),
+        ("name", Json::from(m.name.as_str())),
+        ("kernels", Json::from(m.n_kernels)),
+        ("warps", Json::from(m.total_warps)),
+        ("ops", Json::from(m.total_ops)),
+        ("warp_instrs", Json::from(m.total_warp_instrs)),
+        ("bytes", Json::from(m.bytes)),
+    ]
+}
+
+/// The `trace_store` group of the `/metrics` document.
+fn store_stats_json(s: &StoreStats) -> Json {
+    obj([
+        ("ingests", Json::from(s.ingests)),
+        ("dedup_hits", Json::from(s.dedup_hits)),
+        ("validation_failures", Json::from(s.validation_failures)),
+        ("evictions", Json::from(s.evictions)),
+        ("store_bytes", Json::from(s.store_bytes)),
+        ("entries", Json::from(s.entries)),
+    ])
+}
+
 // --- request parsing and normalization ---------------------------------
 
 /// A strict field reader over one JSON object: every access is recorded
@@ -529,7 +791,7 @@ fn as_f64(json: &Json, what: &str) -> Result<f64, ApiError> {
         .ok_or_else(|| ApiError::bad(format!("{what} must be a finite number")))
 }
 
-fn parse_request(body: &[u8]) -> Result<Plan, ApiError> {
+fn parse_request(body: &[u8], store: Option<&TraceStore>) -> Result<Plan, ApiError> {
     let text =
         std::str::from_utf8(body).map_err(|_| ApiError::bad("request body must be UTF-8 JSON"))?;
     let doc = gsim_json::parse_with_limits(text, gsim_json::DEFAULT_MAX_DEPTH, MAX_PREDICT_BYTES)
@@ -615,12 +877,14 @@ fn parse_request(body: &[u8]) -> Result<Plan, ApiError> {
         }
     }
 
-    // Workload: a suite benchmark or a synthetic pattern.
+    // Workload: a suite benchmark, a synthetic pattern, or a stored trace.
     let workload_field = fields.get("workload").cloned();
     let suite_field = fields.get("suite").cloned();
     let pattern_field = fields.get("pattern").cloned();
-    let (kind, workload_json, suite_name) = match (workload_field, pattern_field) {
-        (Some(wl), None) => {
+    let trace_field = fields.get("trace_ref").cloned();
+    let mut semantic: Option<u64> = None;
+    let (kind, workload_json, suite_name) = match (workload_field, pattern_field, trace_field) {
+        (Some(wl), None, None) => {
             let abbr = wl
                 .as_str()
                 .ok_or_else(|| ApiError::bad("workload must be a benchmark abbreviation"))?;
@@ -647,36 +911,79 @@ fn parse_request(body: &[u8]) -> Result<Plan, ApiError> {
                 let bench = strong_benchmark(abbr, scale).ok_or_else(|| {
                     ApiError::bad(format!("unknown benchmark {abbr:?}; see GET /v1/workloads"))
                 })?;
-                PlanKind::WithMrc(bench.workload)
+                PlanKind::WithMrc(PlanWorkload::Synthetic(bench.workload))
             };
             (kind, Json::from(abbr), suite.to_string())
         }
-        (None, Some(pattern)) => {
+        (None, Some(pattern), None) => {
             if suite_field.is_some() {
                 return Err(ApiError::bad("suite does not apply to pattern requests"));
             }
             let (workload, normalized) = parse_pattern(&pattern, scale)?;
             (
-                PlanKind::WithMrc(workload),
+                PlanKind::WithMrc(PlanWorkload::Synthetic(workload)),
                 normalized,
                 "pattern".to_string(),
             )
         }
-        (Some(_), Some(_)) => {
-            return Err(ApiError::bad("give either workload or pattern, not both"));
+        (None, None, Some(t)) => {
+            if suite_field.is_some() {
+                return Err(ApiError::bad("suite does not apply to trace requests"));
+            }
+            let trace_ref = t
+                .as_str()
+                .ok_or_else(|| ApiError::bad("trace_ref must be a string"))?
+                .to_ascii_lowercase();
+            let hash = (trace_ref.len() == 16)
+                .then(|| u64::from_str_radix(&trace_ref, 16).ok())
+                .flatten()
+                .ok_or_else(|| {
+                    ApiError::bad("trace_ref must be 16 hex digits (see POST /v1/traces)")
+                })?;
+            let Some(store) = store else {
+                return Err(ApiError::internal("no trace store configured"));
+            };
+            let wl = match store.load(&trace_ref) {
+                Ok(wl) => wl,
+                Err(StoreError::NotFound(_)) => {
+                    return Err(ApiError {
+                        status: 404,
+                        message: format!(
+                            "no trace {trace_ref} in store; upload it via POST /v1/traces"
+                        ),
+                    });
+                }
+                Err(e) => {
+                    return Err(ApiError::internal(format!("trace load failed: {e}")));
+                }
+            };
+            semantic = Some(hash);
+            let json = Json::from(trace_ref.as_str());
+            (
+                PlanKind::WithMrc(PlanWorkload::Traced(Arc::new(wl))),
+                json,
+                "trace".to_string(),
+            )
         }
-        (None, None) => {
-            return Err(ApiError::bad("missing workload (or pattern) field"));
+        (None, None, None) => {
+            return Err(ApiError::bad(
+                "missing workload (or pattern, or trace_ref) field",
+            ));
+        }
+        _ => {
+            return Err(ApiError::bad(
+                "give exactly one of workload, pattern, or trace_ref — not both",
+            ));
         }
     };
     fields.finish()?;
 
     // The normalized request: fixed field order, every default filled
     // in, so semantically identical requests render identically.
-    let workload_key = if suite_name == "pattern" {
-        "pattern"
-    } else {
-        "workload"
+    let workload_key = match suite_name.as_str() {
+        "pattern" => "pattern",
+        "trace" => "trace_ref",
+        _ => "workload",
     };
     let normalized = obj([
         (workload_key, workload_json),
@@ -710,6 +1017,7 @@ fn parse_request(body: &[u8]) -> Result<Plan, ApiError> {
         targets,
         scale,
         ladder,
+        semantic,
     })
 }
 
@@ -930,7 +1238,7 @@ mod tests {
     use super::*;
 
     fn plan(body: &str) -> Result<Plan, ApiError> {
-        parse_request(body.as_bytes())
+        parse_request(body.as_bytes(), None)
     }
 
     #[test]
@@ -995,7 +1303,7 @@ mod tests {
                 "target_sms": 64, "scale_models": [8, 16]}"#,
         )
         .unwrap();
-        let PlanKind::WithMrc(wl) = &p.kind else {
+        let PlanKind::WithMrc(PlanWorkload::Synthetic(wl)) = &p.kind else {
             panic!("patterns are strong-scaling plans");
         };
         assert_eq!(wl.kernels().len(), 1);
@@ -1024,6 +1332,62 @@ mod tests {
             .unwrap(),
         };
         assert!(matches!(p.kind, PlanKind::PerSize { .. }));
+    }
+
+    #[test]
+    fn trace_requests_validate_the_reference_and_resolve_via_the_store() {
+        // Shape errors surface without touching any store.
+        assert!(plan(r#"{"trace_ref": "xyz", "target_sms": 128}"#)
+            .unwrap_err()
+            .message
+            .contains("16 hex digits"));
+        assert!(
+            plan(r#"{"trace_ref": "0011223344556677", "suite": "weak", "target_sms": 128}"#)
+                .unwrap_err()
+                .message
+                .contains("does not apply")
+        );
+        assert!(
+            plan(r#"{"trace_ref": "0011223344556677", "workload": "bfs", "target_sms": 128}"#)
+                .unwrap_err()
+                .message
+                .contains("not both")
+        );
+
+        // A real store resolves the reference; the normalized form and the
+        // plan's semantic hash are the content address itself.
+        let dir = std::env::temp_dir().join(format!(
+            "gsim-serve-parse-trace-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("open store");
+        let spec = PatternSpec::new(PatternKind::Streaming, 512);
+        let wl = Workload::new("t", 9, vec![Kernel::new("k", 8, 128, spec)]);
+        let mut bytes = Vec::new();
+        gsim_trace::write_trace(&wl, &mut bytes).expect("write trace");
+        let (meta, _) = store.ingest_bytes(&bytes).expect("ingest");
+
+        let body = format!(
+            r#"{{"trace_ref": "{}", "target_sms": 128}}"#,
+            meta.trace_ref
+        );
+        let p = parse_request(body.as_bytes(), Some(&store)).expect("trace plan");
+        assert!(matches!(p.kind, PlanKind::WithMrc(PlanWorkload::Traced(_))));
+        assert_eq!(p.semantic, Some(semantic_hash_of(&wl)));
+        let rendered = p.normalized.render();
+        assert!(rendered.contains(&format!("\"trace_ref\":\"{}\"", meta.trace_ref)));
+        assert!(rendered.contains("\"suite\":\"trace\""), "{rendered}");
+
+        // An unknown (but well-formed) reference is a 404.
+        let miss = parse_request(
+            br#"{"trace_ref": "00000000000000aa", "target_sms": 128}"#,
+            Some(&store),
+        )
+        .unwrap_err();
+        assert_eq!(miss.status, 404);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl RunningServer {
                 runner_threads: 2,
                 cache_capacity: 0,
                 cache_dir: Some(cache_dir.to_path_buf()),
+                ..ServeConfig::default()
             },
             shutdown.clone(),
         )

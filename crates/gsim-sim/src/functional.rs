@@ -14,7 +14,7 @@
 
 use gsim_mem::mrc::{CapacityReplay, MissRateCurve};
 use gsim_mem::{Cache, CacheGeometry};
-use gsim_trace::{MemSpace, Op, SpecStream, WarpStream, Workload, THREADS_PER_WARP};
+use gsim_trace::{MemSpace, Op, WarpStream, WorkloadModel, THREADS_PER_WARP};
 
 use crate::config::GpuConfig;
 
@@ -42,26 +42,27 @@ impl FunctionalReplay {
         }
     }
 
-    /// Replays the whole workload. May be called once.
-    pub fn run(&mut self, wl: &Workload, ctas_per_sm_of: impl Fn(u32) -> u32) {
-        for (kidx, kernel) in wl.kernels().iter().enumerate() {
-            let warps_per_cta = kernel.warps_per_cta();
-            let max_ctas = ctas_per_sm_of(kernel.threads_per_cta()).max(1);
+    /// Replays the whole workload (synthetic or trace-driven). May be
+    /// called once.
+    pub fn run<W: WorkloadModel>(&mut self, wl: &W, ctas_per_sm_of: impl Fn(u32) -> u32) {
+        for kidx in 0..wl.n_kernels() {
+            let (n_ctas, threads_per_cta) = wl.grid(kidx);
+            let warps_per_cta = wl.warps_per_cta(kidx);
+            let max_ctas = ctas_per_sm_of(threads_per_cta).max(1);
             let mut next_cta: u32 = 0;
             // Per-SM resident warp streams (flattened CTA slots).
-            let mut resident: Vec<Vec<(u32, SpecStream)>> =
+            let mut resident: Vec<Vec<(u32, W::Stream)>> =
                 (0..self.n_sms).map(|_| Vec::new()).collect();
-            let mut cta_live: Vec<u32> = vec![0; kernel.n_ctas() as usize];
+            let mut cta_live: Vec<u32> = vec![0; n_ctas as usize];
             let mut l1s: Vec<Cache> = (0..self.n_sms).map(|_| Cache::new(self.l1_geom)).collect();
             // Initial fill.
             for slot in resident.iter_mut() {
-                while slot.len() < (max_ctas * warps_per_cta) as usize && next_cta < kernel.n_ctas()
-                {
+                while slot.len() < (max_ctas * warps_per_cta) as usize && next_cta < n_ctas {
                     let cta = next_cta;
                     next_cta += 1;
                     cta_live[cta as usize] = warps_per_cta;
                     for w in 0..warps_per_cta {
-                        slot.push((cta, kernel.warp_stream(wl, kidx, cta, w)));
+                        slot.push((cta, wl.warp_stream(kidx, cta, w)));
                     }
                 }
             }
@@ -88,14 +89,13 @@ impl FunctionalReplay {
                                 if cta_live[cta as usize] == 0 {
                                     // Slot freed: pull the next CTA.
                                     while resident[sm].len() < (max_ctas * warps_per_cta) as usize
-                                        && next_cta < kernel.n_ctas()
+                                        && next_cta < n_ctas
                                     {
                                         let c = next_cta;
                                         next_cta += 1;
                                         cta_live[c as usize] = warps_per_cta;
                                         for w in 0..warps_per_cta {
-                                            resident[sm]
-                                                .push((c, kernel.warp_stream(wl, kidx, c, w)));
+                                            resident[sm].push((c, wl.warp_stream(kidx, c, w)));
                                         }
                                         live = true;
                                     }
@@ -175,7 +175,7 @@ impl FunctionalReplay {
 /// let mrc = collect_mrc(&wl, &configs);
 /// assert_eq!(mrc.len(), 3);
 /// ```
-pub fn collect_mrc(wl: &Workload, configs: &[GpuConfig]) -> MissRateCurve {
+pub fn collect_mrc<W: WorkloadModel>(wl: &W, configs: &[GpuConfig]) -> MissRateCurve {
     assert!(!configs.is_empty(), "need at least one configuration");
     let caps: Vec<(u64, u32)> = configs
         .iter()
@@ -193,7 +193,7 @@ pub fn collect_mrc(wl: &Workload, configs: &[GpuConfig]) -> MissRateCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec};
+    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
 
     fn configs() -> Vec<GpuConfig> {
         [8u32, 16, 32, 64, 128]
@@ -255,6 +255,27 @@ mod tests {
                 "MPKI should not grow with capacity: {:?}",
                 mrc.points()
             );
+        }
+    }
+
+    #[test]
+    fn traced_replay_yields_bit_identical_mrc() {
+        // A trace round-trip preserves streams exactly, so the functional
+        // replay must produce the same curve to the last bit — the
+        // property the serve layer's trace-driven predictions rely on.
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 2 }, 3_000).compute_per_mem(1.0);
+        let wl = Workload::new("t", 6, vec![Kernel::new("k", 96, 256, spec)]);
+        let mut bytes = Vec::new();
+        gsim_trace::write_trace(&wl, &mut bytes).expect("write");
+        let traced = gsim_trace::TracedWorkload::read(&bytes[..]).expect("read");
+        let cfgs = configs();
+        let a = collect_mrc(&wl, &cfgs);
+        let b = collect_mrc(&traced, &cfgs);
+        assert_eq!(a.points().len(), b.points().len());
+        for (x, y) in a.points().iter().zip(b.points()) {
+            assert_eq!(x.capacity_bytes, y.capacity_bytes);
+            assert_eq!(x.mpki.to_bits(), y.mpki.to_bits());
         }
     }
 

@@ -58,7 +58,10 @@ pub use model::WorkloadModel;
 pub use op::{MemAccess, MemSpace, Op};
 pub use pattern::{PatternKind, PatternSpec, SharedHotSpec, SpecStream, StreamCtx, WarpStream};
 pub use scale::MemScale;
-pub use tracefile::{write_trace, TraceStream, TracedWorkload};
+pub use tracefile::{
+    semantic_hash_of, write_trace, write_trace_v1, KernelMeta, TraceLimits, TraceReadError,
+    TraceReader, TraceStats, TraceStream, TracedWarp, TracedWorkload,
+};
 
 /// Threads per warp, fixed at 32 throughout the paper (Table III).
 pub const THREADS_PER_WARP: u32 = 32;

@@ -42,6 +42,17 @@ pub trait WorkloadModel {
     fn warps_per_cta(&self, kernel: usize) -> u32 {
         self.grid(kernel).1.div_ceil(32)
     }
+
+    /// Display name of kernel `kernel` (recorded in trace files; never
+    /// affects simulation results or content identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is out of range.
+    fn kernel_name(&self, kernel: usize) -> String {
+        let _ = self.grid(kernel);
+        format!("k{kernel}")
+    }
 }
 
 impl WorkloadModel for Workload {
@@ -66,6 +77,10 @@ impl WorkloadModel for Workload {
 
     fn approx_warp_instrs(&self) -> u64 {
         Workload::approx_warp_instrs(self)
+    }
+
+    fn kernel_name(&self, kernel: usize) -> String {
+        self.kernels()[kernel].name().to_string()
     }
 }
 

@@ -1,0 +1,648 @@
+//! Content-addressed trace store: validated ingest, atomic writes,
+//! indexed metadata, and size-budget eviction.
+//!
+//! Accel-Sim-style trace-driven simulation separates *capture* from
+//! *replay*: a workload is traced once and replayed by many simulations.
+//! This crate is the capture side's home. A [`TraceStore`] keeps every
+//! ingested trace under a directory, named by its **semantic hash** (the
+//! FNV-1a content identity from
+//! [`gsim_trace::semantic_hash_of`]), so:
+//!
+//! * identical instruction streams deduplicate to one blob no matter how
+//!   many times — or in which format version — they are uploaded;
+//! * a trace reference (`16` lowercase hex digits) is stable across
+//!   machines and sessions, making it a safe cache key for downstream
+//!   prediction services.
+//!
+//! # Layout and ingest protocol
+//!
+//! ```text
+//! <root>/
+//!   traces.jsonl          index: one JSON object per entry, append-only,
+//!                         rewritten atomically on eviction/compaction
+//!   traces/<ref>.gstr     blobs, always stored transcoded to format v2
+//! ```
+//!
+//! Ingest fully *validates* the upload by decoding it (both format
+//! versions accepted, resource limits enforced), transcodes it to v2,
+//! writes the blob to a temp file and `rename`s it into place (atomic on
+//! POSIX), then appends the index entry. A crash can leave a temp file or
+//! an unindexed blob, never a corrupt index entry pointing at a bad blob;
+//! stale index lines and size mismatches are dropped on open.
+//!
+//! Eviction is oldest-first by ingest sequence once the configured byte
+//! budget is exceeded; the most recent ingest is never evicted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use gsim_json::{obj, Json};
+use gsim_trace::{write_trace, TraceLimits, TraceReadError, TraceReader, TracedWorkload};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Byte budget for stored blobs; oldest entries are evicted beyond
+    /// it. The most recent ingest always survives, even alone over
+    /// budget.
+    pub max_bytes: u64,
+    /// Decode limits applied when validating ingests and opening blobs.
+    pub limits: TraceLimits,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            max_bytes: 1 << 30,
+            limits: TraceLimits::default(),
+        }
+    }
+}
+
+/// Index metadata of one stored trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Content address: the semantic hash as 16 lowercase hex digits.
+    pub trace_ref: String,
+    /// Workload name recorded in the trace (informational only; not part
+    /// of the content address).
+    pub name: String,
+    /// Number of kernels.
+    pub n_kernels: u64,
+    /// Total warps.
+    pub total_warps: u64,
+    /// Total ops.
+    pub total_ops: u64,
+    /// Total warp instructions.
+    pub total_warp_instrs: u64,
+    /// Stored blob size in bytes (v2 encoding).
+    pub bytes: u64,
+    /// Monotonic ingest sequence number (eviction order).
+    pub seq: u64,
+}
+
+/// Session counters and gauges of a [`TraceStore`]. Counters reset on
+/// open; `store_bytes`/`entries` reflect durable state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful ingests of new content.
+    pub ingests: u64,
+    /// Ingests whose content was already stored.
+    pub dedup_hits: u64,
+    /// Rejected ingests (decode/validation failures) plus index entries
+    /// dropped as stale on open.
+    pub validation_failures: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes currently stored.
+    pub store_bytes: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The ingested bytes are not a valid trace.
+    Invalid(TraceReadError),
+    /// No trace with the given reference exists.
+    NotFound(String),
+    /// Filesystem failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid(e) => write!(f, "invalid trace: {e}"),
+            Self::NotFound(r) => write!(f, "no trace {r} in store"),
+            Self::Io(e) => write!(f, "trace store I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Invalid(e) => Some(e),
+            Self::Io(e) => Some(e),
+            Self::NotFound(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+struct Inner {
+    root: PathBuf,
+    cfg: StoreConfig,
+    /// Entries in ingest order (oldest first).
+    entries: Vec<TraceMeta>,
+    next_seq: u64,
+    ingests: u64,
+    dedup_hits: u64,
+    validation_failures: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, content-addressed store of validated traces.
+pub struct TraceStore {
+    inner: Mutex<Inner>,
+}
+
+const INDEX_FILE: &str = "traces.jsonl";
+const BLOB_DIR: &str = "traces";
+
+fn blob_rel(trace_ref: &str) -> String {
+    format!("{BLOB_DIR}/{trace_ref}.gstr")
+}
+
+fn meta_to_json(m: &TraceMeta) -> Json {
+    obj([
+        ("ref", Json::from(m.trace_ref.as_str())),
+        ("name", Json::from(m.name.as_str())),
+        ("kernels", Json::from(m.n_kernels)),
+        ("warps", Json::from(m.total_warps)),
+        ("ops", Json::from(m.total_ops)),
+        ("warp_instrs", Json::from(m.total_warp_instrs)),
+        ("bytes", Json::from(m.bytes)),
+        ("seq", Json::from(m.seq)),
+    ])
+}
+
+fn meta_from_json(j: &Json) -> Option<TraceMeta> {
+    let trace_ref = j.get("ref")?.as_str()?.to_string();
+    if trace_ref.len() != 16 || !trace_ref.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some(TraceMeta {
+        trace_ref,
+        name: j.get("name")?.as_str()?.to_string(),
+        n_kernels: j.get("kernels")?.as_u64()?,
+        total_warps: j.get("warps")?.as_u64()?,
+        total_ops: j.get("ops")?.as_u64()?,
+        total_warp_instrs: j.get("warp_instrs")?.as_u64()?,
+        bytes: j.get("bytes")?.as_u64()?,
+        seq: j.get("seq")?.as_u64()?,
+    })
+}
+
+impl Inner {
+    fn blob_path(&self, trace_ref: &str) -> PathBuf {
+        self.root.join(blob_rel(trace_ref))
+    }
+
+    fn store_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Rewrites the whole index atomically (temp file + rename).
+    fn rewrite_index(&self) -> io::Result<()> {
+        let tmp = self.root.join(".traces.jsonl.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for e in &self.entries {
+                writeln!(f, "{}", meta_to_json(e).render())?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.root.join(INDEX_FILE))
+    }
+
+    fn append_index(&self, meta: &TraceMeta) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join(INDEX_FILE))?;
+        writeln!(f, "{}", meta_to_json(meta).render())?;
+        f.sync_all()
+    }
+
+    /// Evicts oldest entries until the budget fits, sparing the entry
+    /// with sequence number `keep_seq`.
+    fn evict_to_budget(&mut self, keep_seq: u64) -> io::Result<()> {
+        let mut evicted = false;
+        while self.store_bytes() > self.cfg.max_bytes {
+            let Some(idx) = self.entries.iter().position(|e| e.seq != keep_seq) else {
+                break;
+            };
+            let victim = self.entries.remove(idx);
+            // A missing blob is already gone; don't fail eviction on it.
+            match fs::remove_file(self.blob_path(&victim.trace_ref)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    self.entries.insert(idx, victim);
+                    return Err(e);
+                }
+            }
+            self.evictions += 1;
+            evicted = true;
+        }
+        if evicted {
+            self.rewrite_index()?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// The index is re-validated: unparsable lines, duplicate refs, and
+    /// entries whose blob is missing or has the wrong size are dropped
+    /// (counted as validation failures) and the index is compacted.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error creating the directories or reading
+    /// the index.
+    pub fn open(root: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join(BLOB_DIR))?;
+        let mut entries: Vec<TraceMeta> = Vec::new();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut dropped = 0u64;
+        let index_path = root.join(INDEX_FILE);
+        let raw = match fs::read_to_string(&index_path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        for line in raw.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(meta) = gsim_json::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(meta_from_json)
+            else {
+                dropped += 1;
+                continue;
+            };
+            let ok = fs::metadata(root.join(blob_rel(&meta.trace_ref)))
+                .map(|m| m.is_file() && m.len() == meta.bytes)
+                .unwrap_or(false);
+            if !ok {
+                dropped += 1;
+                continue;
+            }
+            // Last write wins on duplicate refs.
+            if let Some(&i) = seen.get(&meta.trace_ref) {
+                dropped += 1;
+                entries[i] = meta;
+            } else {
+                seen.insert(meta.trace_ref.clone(), entries.len());
+                entries.push(meta);
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        let next_seq = entries.last().map_or(0, |e| e.seq + 1);
+        let inner = Inner {
+            root,
+            cfg,
+            entries,
+            next_seq,
+            ingests: 0,
+            dedup_hits: 0,
+            validation_failures: dropped,
+            evictions: 0,
+        };
+        if dropped > 0 {
+            inner.rewrite_index()?;
+        }
+        Ok(Self {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Validates, transcodes to v2, and stores a trace. Returns its
+    /// metadata and whether the content was already present (dedup).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Invalid`] if `bytes` fail to decode under the
+    /// configured limits; [`StoreError::Io`] on filesystem failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn ingest_bytes(&self, bytes: &[u8]) -> Result<(TraceMeta, bool), StoreError> {
+        let mut inner = self.inner.lock().expect("trace store lock");
+        // Validate and materialise (accepts v1 and v2).
+        let wl = match TracedWorkload::read_with_limits(bytes, inner.cfg.limits) {
+            Ok(wl) => wl,
+            Err(e) => {
+                inner.validation_failures += 1;
+                return Err(StoreError::Invalid(e));
+            }
+        };
+        // Canonical v2 blob; stream it back once for totals + identity
+        // (also a self-check of our own transcode).
+        let mut blob = Vec::new();
+        write_trace(&wl, &mut blob).map_err(StoreError::Io)?;
+        let mut reader =
+            TraceReader::with_limits(&blob[..], inner.cfg.limits).map_err(StoreError::Invalid)?;
+        while reader.next_warp().map_err(StoreError::Invalid)?.is_some() {}
+        let stats = *reader.stats().expect("fully streamed");
+        let trace_ref = format!("{:016x}", stats.semantic_hash);
+
+        if let Some(existing) = inner.entries.iter().find(|e| e.trace_ref == trace_ref) {
+            let meta = existing.clone();
+            inner.dedup_hits += 1;
+            return Ok((meta, true));
+        }
+
+        let tmp = inner.root.join(BLOB_DIR).join(format!(".tmp-{trace_ref}"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&blob)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, inner.blob_path(&trace_ref))?;
+
+        let meta = TraceMeta {
+            trace_ref,
+            name: gsim_trace::WorkloadModel::name(&wl).to_string(),
+            n_kernels: reader.n_kernels() as u64,
+            total_warps: stats.total_warps,
+            total_ops: stats.total_ops,
+            total_warp_instrs: stats.total_warp_instrs,
+            bytes: blob.len() as u64,
+            seq: inner.next_seq,
+        };
+        inner.next_seq += 1;
+        inner.append_index(&meta)?;
+        inner.entries.push(meta.clone());
+        inner.ingests += 1;
+        inner.evict_to_budget(meta.seq)?;
+        Ok((meta, false))
+    }
+
+    /// Reads and ingests a trace file from the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::ingest_bytes`], plus I/O errors reading `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn ingest_file(&self, path: &Path) -> Result<(TraceMeta, bool), StoreError> {
+        let max = self
+            .inner
+            .lock()
+            .expect("trace store lock")
+            .cfg
+            .limits
+            .max_file_bytes;
+        let f = File::open(path)?;
+        let mut bytes = Vec::new();
+        // Bound the read so a huge file fails cleanly instead of OOMing.
+        f.take(max.saturating_add(1)).read_to_end(&mut bytes)?;
+        if bytes.len() as u64 > max {
+            self.inner
+                .lock()
+                .expect("trace store lock")
+                .validation_failures += 1;
+            return Err(StoreError::Invalid(TraceReadError::TooLarge(format!(
+                "file exceeds max_file_bytes = {max}"
+            ))));
+        }
+        self.ingest_bytes(&bytes)
+    }
+
+    /// Looks up a trace's metadata by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn get(&self, trace_ref: &str) -> Option<TraceMeta> {
+        let inner = self.inner.lock().expect("trace store lock");
+        inner
+            .entries
+            .iter()
+            .find(|e| e.trace_ref == trace_ref)
+            .cloned()
+    }
+
+    /// Loads and fully decodes a stored trace.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for an unknown reference;
+    /// [`StoreError::Invalid`] if the blob no longer decodes (on-disk
+    /// corruption); [`StoreError::Io`] on filesystem failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn load(&self, trace_ref: &str) -> Result<TracedWorkload, StoreError> {
+        let (path, limits) = {
+            let inner = self.inner.lock().expect("trace store lock");
+            if !inner.entries.iter().any(|e| e.trace_ref == trace_ref) {
+                return Err(StoreError::NotFound(trace_ref.to_string()));
+            }
+            (inner.blob_path(trace_ref), inner.cfg.limits)
+        };
+        let f = File::open(path)?;
+        TracedWorkload::read_with_limits(io::BufReader::new(f), limits).map_err(StoreError::Invalid)
+    }
+
+    /// The on-disk path of a stored trace's blob, if the reference is
+    /// indexed. Useful for streaming readers that want the raw v2 file
+    /// without materialising the whole workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn blob_path(&self, trace_ref: &str) -> Option<PathBuf> {
+        let inner = self.inner.lock().expect("trace store lock");
+        inner
+            .entries
+            .iter()
+            .any(|e| e.trace_ref == trace_ref)
+            .then(|| inner.blob_path(trace_ref))
+    }
+
+    /// All entries, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn list(&self) -> Vec<TraceMeta> {
+        self.inner.lock().expect("trace store lock").entries.clone()
+    }
+
+    /// Session counters and current gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("trace store lock");
+        StoreStats {
+            ingests: inner.ingests,
+            dedup_hits: inner.dedup_hits,
+            validation_failures: inner.validation_failures,
+            evictions: inner.evictions,
+            store_bytes: inner.store_bytes(),
+            entries: inner.entries.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::{
+        semantic_hash_of, write_trace_v1, Kernel, PatternKind, PatternSpec, Workload,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d =
+            std::env::temp_dir().join(format!("gsim-tracestore-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    fn workload(seed: u64, footprint: u64) -> Workload {
+        let spec = PatternSpec::new(PatternKind::GlobalSweep { passes: 2 }, footprint)
+            .compute_per_mem(1.0);
+        Workload::new("wl", seed, vec![Kernel::new("k", 8, 128, spec)])
+    }
+
+    fn trace_bytes(wl: &Workload) -> Vec<u8> {
+        let mut b = Vec::new();
+        write_trace(wl, &mut b).expect("write");
+        b
+    }
+
+    #[test]
+    fn ingest_dedupes_across_format_versions() {
+        let dir = tmpdir("dedupe");
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+        let wl = workload(1, 4096);
+        let (meta, dup) = store.ingest_bytes(&trace_bytes(&wl)).expect("ingest v2");
+        assert!(!dup);
+        assert_eq!(meta.trace_ref, format!("{:016x}", semantic_hash_of(&wl)));
+        assert_eq!(meta.n_kernels, 1);
+        assert_eq!(meta.total_warps, 8 * 4);
+        assert_eq!(meta.total_warp_instrs, wl.approx_warp_instrs());
+
+        // The same workload as a v1 file is the same content.
+        let mut v1 = Vec::new();
+        write_trace_v1(&wl, &mut v1).expect("write v1");
+        let (meta2, dup2) = store.ingest_bytes(&v1).expect("ingest v1");
+        assert!(dup2);
+        assert_eq!(meta2.trace_ref, meta.trace_ref);
+
+        let s = store.stats();
+        assert_eq!((s.ingests, s.dedup_hits, s.entries), (1, 1, 1));
+        assert_eq!(s.store_bytes, meta.bytes);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_replays_the_same_streams() {
+        let dir = tmpdir("load");
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+        let wl = workload(2, 2048);
+        let (meta, _) = store.ingest_bytes(&trace_bytes(&wl)).expect("ingest");
+        let loaded = store.load(&meta.trace_ref).expect("load");
+        assert_eq!(semantic_hash_of(&loaded), semantic_hash_of(&wl));
+        assert!(matches!(
+            store.load("0000000000000000"),
+            Err(StoreError::NotFound(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_counts_it() {
+        let dir = tmpdir("garbage");
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+        assert!(matches!(
+            store.ingest_bytes(b"not a trace at all"),
+            Err(StoreError::Invalid(_))
+        ));
+        assert_eq!(store.stats().validation_failures, 1);
+        assert_eq!(store.stats().entries, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_budget_but_spares_newest() {
+        let dir = tmpdir("evict");
+        let one = trace_bytes(&workload(10, 1024));
+        let budget = (one.len() as u64 * 5) / 2; // fits two traces, not three
+        let cfg = StoreConfig {
+            max_bytes: budget,
+            ..StoreConfig::default()
+        };
+        let store = TraceStore::open(&dir, cfg).expect("open");
+        let refs: Vec<String> = (0..3u64)
+            .map(|i| {
+                let (m, _) = store
+                    .ingest_bytes(&trace_bytes(&workload(10 + i, 1024 + i * 64)))
+                    .expect("ingest");
+                m.trace_ref
+            })
+            .collect();
+        let s = store.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.store_bytes <= budget);
+        assert!(store.get(&refs[0]).is_none(), "oldest evicted");
+        assert!(store.get(&refs[2]).is_some(), "newest kept");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_index_and_drops_stale_entries() {
+        let dir = tmpdir("reopen");
+        let wl_a = workload(20, 1024);
+        let wl_b = workload(21, 2048);
+        let (keep, gone) = {
+            let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+            let (a, _) = store.ingest_bytes(&trace_bytes(&wl_a)).expect("a");
+            let (b, _) = store.ingest_bytes(&trace_bytes(&wl_b)).expect("b");
+            (a.trace_ref, b.trace_ref)
+        };
+        // Sabotage: delete one blob and append garbage to the index.
+        fs::remove_file(dir.join(BLOB_DIR).join(format!("{gone}.gstr"))).expect("rm");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(INDEX_FILE))
+            .expect("index");
+        writeln!(f, "{{ not json").expect("garbage");
+        drop(f);
+
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("reopen");
+        assert!(store.get(&keep).is_some());
+        assert!(store.get(&gone).is_none());
+        assert_eq!(store.stats().entries, 1);
+        assert_eq!(store.stats().validation_failures, 2);
+        // The loadable survivor still decodes to the right content.
+        let loaded = store.load(&keep).expect("load");
+        assert_eq!(semantic_hash_of(&loaded), semantic_hash_of(&wl_a));
+        fs::remove_dir_all(&dir).ok();
+    }
+}
