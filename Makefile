@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test lint bench bench-smoke trace-smoke
+.PHONY: build test lint bench bench-smoke trace-smoke chaos-smoke
 
 build:
 	cargo build --release
@@ -30,3 +30,12 @@ bench-smoke:
 trace-smoke:
 	cargo build --release -p gsim-bench --bin gsim
 	bash scripts/trace_smoke.sh
+
+# Overload/fault chaos smoke (DESIGN.md §13): boot the service with a
+# deterministic fault plan and a tiny predict budget, drive it past
+# saturation with serve_bench, and verify only 200/400/404/429/503/504
+# come back, every 429 carries Retry-After, and shutdown drains within
+# the grace period. Refreshes BENCH_serve.json. Used by CI.
+chaos-smoke:
+	cargo build --release -p gsim-bench --bin gsim --bin serve_bench
+	bash scripts/chaos_smoke.sh

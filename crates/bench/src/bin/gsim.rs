@@ -13,6 +13,9 @@
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
 //! gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]
 //! gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR]
+//!            [--default-deadline-ms N] [--max-inflight-predicts N]
+//!            [--max-inflight-cheap N] [--degrade-threshold N]
+//!            [--drain-grace-ms N] [--fault-plan SPEC]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
@@ -37,6 +40,17 @@
 //! (`--threads` parallelises *across* sweep jobs instead; under `serve`
 //! it sizes the HTTP worker pool). Results are bit-identical for any
 //! N ≥ 1.
+//!
+//! `serve`'s overload knobs (DESIGN.md §13): `--default-deadline-ms`
+//! bounds every predict unless the request's `X-Gsim-Deadline-Ms` header
+//! overrides it; `--max-inflight-predicts` / `--max-inflight-cheap` are
+//! the per-class admission budgets (shed with 429 + `Retry-After`
+//! beyond them); `--degrade-threshold` sets how many concurrent leaders
+//! saturate the simulation pool before MRC-capable predicts degrade to
+//! the MRC-only fast path; `--drain-grace-ms` bounds the shutdown
+//! drain. `--fault-plan SPEC` (or the `GSIM_FAULTS` env var; the flag
+//! wins) installs a deterministic fault-injection plan, e.g.
+//! `seed=42,http_delay_p=0.05,job_panic_p=0.02` — see `gsim-faults`.
 
 use std::fs::File;
 use std::process::exit;
@@ -65,7 +79,9 @@ fn usage() -> ! {
          gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
          gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]\n  \
          gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR] \
-         [--runner-threads N]"
+         [--runner-threads N] [--default-deadline-ms N] [--max-inflight-predicts N] \
+         [--max-inflight-cheap N] [--degrade-threshold N] [--drain-grace-ms N] \
+         [--fault-plan SPEC]"
     );
     exit(2)
 }
@@ -86,6 +102,12 @@ struct Flags {
     max_trace_mb: u64,
     mrc: bool,
     output: Option<String>,
+    default_deadline_ms: u64,
+    max_inflight_predicts: usize,
+    max_inflight_cheap: usize,
+    degrade_threshold: usize,
+    drain_grace_ms: u64,
+    fault_plan: Option<String>,
     positional: Vec<String>,
 }
 
@@ -106,6 +128,12 @@ fn parse(args: &[String]) -> Flags {
         max_trace_mb: 0,
         mrc: false,
         output: None,
+        default_deadline_ms: 0,
+        max_inflight_predicts: 0,
+        max_inflight_cheap: 0,
+        degrade_threshold: 0,
+        drain_grace_ms: 5000,
+        fault_plan: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -168,6 +196,22 @@ fn parse(args: &[String]) -> Flags {
             }
             "--mrc" => f.mrc = true,
             "-o" | "--output" => f.output = it.next().cloned(),
+            "--default-deadline-ms" => {
+                f.default_deadline_ms = u64::from(num("--default-deadline-ms"))
+            }
+            "--max-inflight-predicts" => {
+                f.max_inflight_predicts = num("--max-inflight-predicts") as usize;
+            }
+            "--max-inflight-cheap" => f.max_inflight_cheap = num("--max-inflight-cheap") as usize,
+            "--degrade-threshold" => f.degrade_threshold = num("--degrade-threshold") as usize,
+            "--drain-grace-ms" => f.drain_grace_ms = u64::from(num("--drain-grace-ms")),
+            "--fault-plan" => match it.next() {
+                Some(spec) => f.fault_plan = Some(spec.clone()),
+                None => {
+                    eprintln!("--fault-plan takes a spec, e.g. seed=42,http_delay_p=0.05");
+                    exit(2)
+                }
+            },
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -629,6 +673,28 @@ fn main() {
                 eprintln!("--addr takes HOST:PORT, got {:?}", f.addr);
                 exit(2)
             }
+            // Install the fault-injection plan before the service opens
+            // any store: the flag wins over the GSIM_FAULTS env var.
+            match &f.fault_plan {
+                Some(spec) => match gsim_faults::FaultPlan::parse(spec) {
+                    Ok(plan) => {
+                        gsim_faults::install(plan);
+                    }
+                    Err(e) => {
+                        eprintln!("--fault-plan: {e}");
+                        exit(2)
+                    }
+                },
+                None => {
+                    if let Err(e) = gsim_faults::install_from_env() {
+                        eprintln!("{}: {e}", gsim_faults::ENV_VAR);
+                        exit(2)
+                    }
+                }
+            }
+            if let Some(inj) = gsim_faults::active() {
+                eprintln!("gsim-serve: fault injection ACTIVE: {:?}", inj.plan());
+            }
             let shutdown = ShutdownFlag::new();
             let service = PredictService::new(
                 ServeConfig {
@@ -636,6 +702,10 @@ fn main() {
                     cache_capacity: 0,
                     cache_dir: f.cache_dir.clone().map(Into::into),
                     trace_store_dir: f.store.clone().map(Into::into),
+                    default_deadline_ms: f.default_deadline_ms,
+                    max_inflight_predicts: f.max_inflight_predicts,
+                    max_inflight_cheap: f.max_inflight_cheap,
+                    degrade_threshold: f.degrade_threshold,
                     ..ServeConfig::default()
                 },
                 shutdown.clone(),
@@ -648,6 +718,7 @@ fn main() {
                 &f.addr,
                 ServerConfig {
                     threads,
+                    drain_grace: std::time::Duration::from_millis(f.drain_grace_ms),
                     ..ServerConfig::default()
                 },
                 shutdown.clone(),

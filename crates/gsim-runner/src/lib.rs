@@ -68,4 +68,4 @@ pub mod pool;
 pub use events::{Event, EventSink, JsonlSink, ProgressReporter};
 pub use handle::{job_handle, Abandoned, JobHandle, Promise};
 pub use job::{Job, JobReport, JobStatus};
-pub use pool::{Runner, RunnerConfig};
+pub use pool::{RunOverrides, Runner, RunnerConfig};

@@ -55,6 +55,34 @@ impl RunnerConfig {
     }
 }
 
+/// Per-run overrides of the pool's failure policy, for callers whose
+/// budget varies per sweep (a request deadline, a no-retry fast path)
+/// while the pool itself is long-lived and shared.
+///
+/// `None` fields keep the [`RunnerConfig`] setting; `Some` replaces it
+/// for this run only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOverrides {
+    /// Replaces the per-job timeout: `Some(None)` disables it,
+    /// `Some(Some(d))` sets it to `d`.
+    pub timeout: Option<Option<Duration>>,
+    /// Replaces the retry-once policy.
+    pub retry_once: Option<bool>,
+}
+
+impl RunOverrides {
+    /// Overrides with a per-job timeout and retries disabled — the shape
+    /// a deadline-bound caller wants: a retry would double the worst-case
+    /// wall time, and a job that timed out against the deadline once will
+    /// again.
+    pub fn deadline(timeout: Duration) -> Self {
+        Self {
+            timeout: Some(Some(timeout)),
+            retry_once: Some(false),
+        }
+    }
+}
+
 /// A configured sweep executor. Cheap to build; reusable across sweeps.
 pub struct Runner {
     cfg: RunnerConfig,
@@ -124,6 +152,17 @@ impl Runner {
     /// slow job cannot serialise the sweep. The calling thread only
     /// aggregates.
     pub fn run<T: Send + 'static>(&self, label: &str, jobs: Vec<Job<T>>) -> Vec<JobReport<T>> {
+        self.run_with(label, jobs, RunOverrides::default())
+    }
+
+    /// [`run`](Self::run) with this sweep's failure policy adjusted by
+    /// `overrides` — the pool, sinks, and scheduling are unchanged.
+    pub fn run_with<T: Send + 'static>(
+        &self,
+        label: &str,
+        jobs: Vec<Job<T>>,
+        overrides: RunOverrides,
+    ) -> Vec<JobReport<T>> {
         let n = jobs.len();
         let threads = self.cfg.resolved_threads().min(n.max(1));
         let start = Instant::now();
@@ -143,8 +182,8 @@ impl Runner {
             deques,
             sinks: self.sinks.clone(),
             label: label.to_string(),
-            timeout: self.cfg.timeout,
-            retry_once: self.cfg.retry_once,
+            timeout: overrides.timeout.unwrap_or(self.cfg.timeout),
+            retry_once: overrides.retry_once.unwrap_or(self.cfg.retry_once),
         });
 
         shared.emit(&Event::SweepStarted {
@@ -380,6 +419,39 @@ mod tests {
         assert_eq!(cfg.resolved_threads(), 3);
         let auto = RunnerConfig::default();
         assert!(auto.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn run_overrides_replace_timeout_and_retry_for_one_run() {
+        // Pool configured with no timeout and retries on.
+        let runner = quiet();
+
+        // Deadline overrides: a slow job times out and is NOT retried.
+        let slow = vec![Job::new("slow", || {
+            std::thread::sleep(Duration::from_millis(400));
+            1u32
+        })];
+        let reports = runner.run_with(
+            "deadline",
+            slow,
+            RunOverrides::deadline(Duration::from_millis(20)),
+        );
+        assert!(matches!(reports[0].status, JobStatus::TimedOut));
+        assert_eq!(reports[0].attempts, 1, "deadline run must not retry");
+
+        // The same runner afterwards still uses its own config: no
+        // timeout, retry once.
+        let flaky_runs = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let counter = Arc::clone(&flaky_runs);
+        let flaky = vec![Job::new("flaky", move || {
+            if counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                panic!("first attempt fails");
+            }
+            7u32
+        })];
+        let reports = runner.run("after", flaky);
+        assert_eq!(reports[0].ok(), Some(&7));
+        assert_eq!(reports[0].attempts, 2, "config retry_once still applies");
     }
 
     #[test]

@@ -169,6 +169,80 @@ impl ResultCache {
     }
 }
 
+/// A bounded LRU of request bodies the service has already rejected
+/// with a `400` parse/validation verdict, keyed by `fnv1a` of the raw
+/// body bytes. Re-submitting a byte-identical bad request skips the
+/// parser entirely and replays the stored message.
+///
+/// Only *deterministic* rejections belong here: a 400 verdict depends on
+/// nothing but the bytes. A `404` (trace not found) must never be
+/// negative-cached — the trace may be uploaded a second later. Memory
+/// only; verdicts are cheap to re-derive after a restart.
+pub struct NegativeCache {
+    inner: Mutex<NegLru>,
+}
+
+struct NegLru {
+    map: HashMap<u64, (u64, Arc<String>)>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl NegativeCache {
+    /// A cache of at most `capacity` verdicts (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(NegLru {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// The stored 400 message for a body hashing to `key`, if any.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let mut lru = self.lock();
+        lru.clock += 1;
+        let clock = lru.clock;
+        let (last_used, message) = lru.map.get_mut(&key)?;
+        *last_used = clock;
+        Some(Arc::clone(message))
+    }
+
+    /// Records that a body hashing to `key` was rejected with `message`.
+    pub fn put(&self, key: u64, message: &str) {
+        let mut lru = self.lock();
+        lru.clock += 1;
+        let clock = lru.clock;
+        if !lru.map.contains_key(&key) && lru.map.len() >= lru.capacity {
+            if let Some(&victim) = lru
+                .map
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| k)
+            {
+                lru.map.remove(&victim);
+            }
+        }
+        lru.map.insert(key, (clock, Arc::new(message.to_string())));
+    }
+
+    /// Number of verdicts currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether no verdicts are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, NegLru> {
+        self.inner.lock().expect("negative cache lock poisoned")
+    }
+}
+
 fn line_json(canonical: &str, body: &str) -> Json {
     obj([
         ("schema", Json::from(LINE_SCHEMA)),
@@ -274,6 +348,27 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(fnv1a(b"req-ok")).unwrap().as_str(), "BODY");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn negative_cache_remembers_and_evicts() {
+        let neg = NegativeCache::new(2);
+        let key = |s: &str| fnv1a(s.as_bytes());
+        assert!(neg.get(key("bad-a")).is_none());
+        neg.put(key("bad-a"), "unknown field: wat");
+        neg.put(key("bad-b"), "size must double");
+        assert_eq!(
+            neg.get(key("bad-a")).unwrap().as_str(),
+            "unknown field: wat"
+        );
+        neg.put(key("bad-c"), "targets empty"); // evicts bad-b (LRU)
+        assert!(neg.get(key("bad-b")).is_none());
+        assert_eq!(
+            neg.get(key("bad-a")).unwrap().as_str(),
+            "unknown field: wat"
+        );
+        assert_eq!(neg.get(key("bad-c")).unwrap().as_str(), "targets empty");
+        assert_eq!(neg.len(), 2);
     }
 
     #[test]

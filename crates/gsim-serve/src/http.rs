@@ -17,10 +17,10 @@
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the accept loop re-checks the shutdown flag when idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
@@ -110,9 +110,11 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -130,6 +132,9 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Requests served on one keep-alive connection before closing.
     pub max_requests_per_conn: u32,
+    /// How long shutdown waits for in-flight connections before
+    /// detaching any stragglers and returning anyway.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +147,7 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             max_requests_per_conn: 1000,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -181,8 +187,12 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until the shutdown flag triggers, then joins
-    /// the workers (in-flight connections finish; queued ones drain).
+    /// Runs the accept loop until the shutdown flag triggers, then
+    /// drains: stops accepting, lets in-flight connections finish, and
+    /// joins the workers. If the drain takes longer than
+    /// [`ServerConfig::drain_grace`] the stragglers are detached (their
+    /// threads keep running until their current request completes, but
+    /// `serve` returns so the process can exit on schedule).
     ///
     /// # Errors
     ///
@@ -191,6 +201,7 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let live = Arc::new(AtomicUsize::new(self.cfg.threads.max(1)));
 
         let workers: Vec<_> = (0..self.cfg.threads.max(1))
             .map(|i| {
@@ -198,16 +209,20 @@ impl Server {
                 let handler = Arc::clone(&handler);
                 let cfg = self.cfg.clone();
                 let shutdown = self.shutdown.clone();
+                let live = Arc::clone(&live);
                 std::thread::Builder::new()
                     .name(format!("gsim-serve-{i}"))
-                    .spawn(move || loop {
-                        // Holding the lock only while receiving keeps the
-                        // queue shared without serialising the handling.
-                        let next = rx.lock().expect("worker queue poisoned").recv();
-                        match next {
-                            Ok(stream) => handle_connection(stream, &cfg, &handler, &shutdown),
-                            Err(_) => break, // acceptor hung up: drain done
+                    .spawn(move || {
+                        loop {
+                            // Holding the lock only while receiving keeps the
+                            // queue shared without serialising the handling.
+                            let next = rx.lock().expect("worker queue poisoned").recv();
+                            match next {
+                                Ok(stream) => handle_connection(stream, &cfg, &handler, &shutdown),
+                                Err(_) => break, // acceptor hung up: drain done
+                            }
                         }
+                        live.fetch_sub(1, Ordering::SeqCst);
                     })
                     .expect("spawn http worker")
             })
@@ -228,6 +243,17 @@ impl Server {
             }
         }
         drop(tx); // workers exit once the queue drains
+        let deadline = Instant::now() + self.cfg.drain_grace;
+        while live.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                // Grace exhausted: detach the stragglers. Keep-alive
+                // connections close at the next request boundary (see
+                // handle_connection), so this only abandons workers
+                // stuck inside a single slow request or read.
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
         for w in workers {
             let _ = w.join();
         }
@@ -248,8 +274,17 @@ fn handle_connection(
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
     let mut buf: Vec<u8> = Vec::new();
+    let faults = gsim_faults::active();
 
     for served in 0..cfg.max_requests_per_conn {
+        if served > 0 && shutdown.is_triggered() {
+            // Close keep-alive connections at the request boundary so a
+            // drain is not held hostage by an idle client's read_timeout.
+            return;
+        }
+        if let Some(delay) = faults.and_then(|f| f.http_read_delay()) {
+            std::thread::sleep(delay);
+        }
         let req = match read_request(&mut stream, &mut buf, cfg, served == 0) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF between requests
@@ -262,10 +297,35 @@ fn handle_connection(
         let close =
             shutdown.is_triggered() || served + 1 == cfg.max_requests_per_conn || wants_close(&req);
         let resp = handler(&req);
+        if faults.is_some_and(|f| f.http_disconnect()) {
+            // Injected mid-body disconnect: advertise the full length,
+            // send half the body, and hang up.
+            let _ = write_truncated(&mut stream, &resp);
+            return;
+        }
         if write_response(&mut stream, &resp, close).is_err() || close {
             return;
         }
     }
+}
+
+/// Writes a response head claiming the full `Content-Length` but only
+/// half the body, then closes. Exists solely for fault injection: the
+/// client observes a mid-body disconnect exactly as it would from a
+/// crashed server.
+fn write_truncated(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (k, v) in &resp.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body[..resp.body.len() / 2])?;
+    stream.flush()
 }
 
 fn wants_close(req: &Request) -> bool {

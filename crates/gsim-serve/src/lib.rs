@@ -24,6 +24,16 @@
 //!   loop, bounded workers, strict limits, keep-alive, cooperative
 //!   shutdown. The whole workspace builds offline; so does its service.
 //!
+//! Under load the service degrades deliberately rather than
+//! accidentally ([`overload`], DESIGN.md §13): per-class admission
+//! budgets shed excess requests with `429` + `Retry-After`, deadlines
+//! (`X-Gsim-Deadline-Ms` or `--default-deadline-ms`) propagate into the
+//! runner and cut over-budget predicts off with `504`, a saturated
+//! simulation pool downgrades MRC-capable predicts to an MRC-only
+//! `"degraded": true` fast path, and shutdown drains within a bounded
+//! grace period. A deterministic fault-injection plan ([`gsim_faults`])
+//! exercises all of it in the chaos harness (`scripts/chaos_smoke.sh`).
+//!
 //! `GET /metrics` ([`metrics`]) exposes request counts, cache hit/miss,
 //! in-flight gauges and latency quantiles from an in-tree histogram.
 //! DESIGN.md §11 documents the threading model and cache-key derivation.
@@ -34,11 +44,13 @@
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod overload;
 pub mod service;
 pub mod singleflight;
 
-pub use cache::{fnv1a, ResultCache};
+pub use cache::{fnv1a, NegativeCache, ResultCache};
 pub use http::{Handler, Request, Response, Server, ServerConfig, ShutdownFlag};
 pub use metrics::{Histogram, Metrics, RunnerJobCounter};
+pub use overload::{retry_after_secs, AdmissionGate, EndpointClass, Permit};
 pub use service::{ApiError, PredictService, ServeConfig};
 pub use singleflight::{Role, SingleFlight};

@@ -105,10 +105,27 @@ pub struct Metrics {
     pub timing_sims_started: AtomicU64,
     /// Jobs started on the simulation runner pool (every attempt).
     pub runner_jobs_started: AtomicU64,
+    /// Cheap-class requests shed with 429 by the admission gate.
+    pub shed_cheap: AtomicU64,
+    /// Heavy-class (predict) requests shed with 429.
+    pub shed_heavy: AtomicU64,
+    /// Predict requests that hit their deadline and were answered 504.
+    pub deadline_timeouts: AtomicU64,
+    /// Predict requests answered by the degraded MRC-only fast path.
+    pub degraded: AtomicU64,
+    /// Predict requests whose 400 verdict was replayed from the
+    /// negative cache without re-parsing.
+    pub negative_hits: AtomicU64,
     /// Requests currently inside the handler.
     pub in_flight: AtomicI64,
+    /// Predict leaders currently blocked in `Runner::run` — the gauge
+    /// the degraded fast path compares against its threshold.
+    pub sims_inflight: AtomicI64,
     /// Per-request wall latency, all endpoints.
     pub latency: Mutex<Histogram>,
+    /// Wall latency of predict leaders only (cache misses that computed);
+    /// its p50 prices the `Retry-After` on shed responses.
+    pub heavy_latency: Mutex<Histogram>,
 }
 
 impl Metrics {
@@ -120,12 +137,35 @@ impl Metrics {
             .record(latency);
     }
 
+    /// Records one predict leader's full computation latency.
+    pub fn observe_heavy(&self, latency: Duration) {
+        self.heavy_latency
+            .lock()
+            .expect("heavy latency histogram poisoned")
+            .record(latency);
+    }
+
+    /// The observed p50 of predict-leader latency (`None` until the
+    /// first computation finishes).
+    pub fn heavy_p50_us(&self) -> Option<u64> {
+        self.heavy_latency
+            .lock()
+            .expect("heavy latency histogram poisoned")
+            .quantile_us(0.50)
+    }
+
     /// Renders the `/metrics` document. `cache_entries` comes from the
     /// cache and `trace_store` from the trace store (they own those
-    /// counts); pass `Json::Null` when no store is attached.
-    pub fn to_json(&self, cache_entries: usize, trace_store: Json) -> Json {
+    /// counts); pass `Json::Null` when no store is attached. `admission`
+    /// is the gate's limits/in-flight snapshot (or `Json::Null` when the
+    /// caller has no gate, e.g. unit tests).
+    pub fn to_json(&self, cache_entries: usize, trace_store: Json, admission: Json) -> Json {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let hist = self.latency.lock().expect("latency histogram poisoned");
+        let heavy = self
+            .heavy_latency
+            .lock()
+            .expect("heavy latency histogram poisoned");
         obj([
             ("schema", Json::from("gsim-serve-metrics-v1")),
             (
@@ -151,8 +191,34 @@ impl Metrics {
                     ("from_trace", Json::from(get(&self.predict_from_trace))),
                     ("stage_obs_hits", Json::from(get(&self.stage_obs_hits))),
                     ("stage_mrc_hits", Json::from(get(&self.stage_mrc_hits))),
+                    ("degraded", Json::from(get(&self.degraded))),
+                    (
+                        "deadline_timeouts",
+                        Json::from(get(&self.deadline_timeouts)),
+                    ),
                 ]),
             ),
+            (
+                "overload",
+                obj([
+                    ("shed_cheap", Json::from(get(&self.shed_cheap))),
+                    ("shed_heavy", Json::from(get(&self.shed_heavy))),
+                    (
+                        "deadline_timeouts",
+                        Json::from(get(&self.deadline_timeouts)),
+                    ),
+                    ("degraded", Json::from(get(&self.degraded))),
+                    ("admission", admission),
+                ]),
+            ),
+            (
+                "cache",
+                obj([
+                    ("entries", Json::from(cache_entries)),
+                    ("negative_hits", Json::from(get(&self.negative_hits))),
+                ]),
+            ),
+            ("faults", faults_json()),
             ("trace_store", trace_store),
             (
                 "timing_sims_started",
@@ -166,6 +232,10 @@ impl Metrics {
                 "in_flight",
                 Json::from(self.in_flight.load(Ordering::Relaxed)),
             ),
+            (
+                "sims_inflight",
+                Json::from(self.sims_inflight.load(Ordering::Relaxed)),
+            ),
             ("cache_entries", Json::from(cache_entries)),
             (
                 "latency_us",
@@ -176,7 +246,30 @@ impl Metrics {
                     ("mean", Json::from(hist.mean_us())),
                 ]),
             ),
+            (
+                "heavy_latency_us",
+                obj([
+                    ("count", Json::from(heavy.count())),
+                    ("p50", Json::from(heavy.quantile_us(0.50))),
+                    ("p99", Json::from(heavy.quantile_us(0.99))),
+                    ("mean", Json::from(heavy.mean_us())),
+                ]),
+            ),
         ])
+    }
+}
+
+/// Per-site injected-fault tallies from the process-global
+/// [`gsim_faults`] plan; `Json::Null` when no plan is installed. Lets
+/// the chaos harness confirm faults actually fired at the advertised
+/// density rather than silently validating a calm run.
+fn faults_json() -> Json {
+    match gsim_faults::active() {
+        None => Json::Null,
+        Some(inj) => obj(inj
+            .injected()
+            .into_iter()
+            .map(|(site, n)| (site, Json::from(n)))),
     }
 }
 
@@ -226,7 +319,10 @@ mod tests {
         m.predict.fetch_add(3, Ordering::Relaxed);
         m.cache_hits.fetch_add(2, Ordering::Relaxed);
         m.observe_latency(Duration::from_micros(10));
-        let doc = m.to_json(7, Json::Null);
+        m.shed_heavy.fetch_add(4, Ordering::Relaxed);
+        m.negative_hits.fetch_add(1, Ordering::Relaxed);
+        m.observe_heavy(Duration::from_millis(3));
+        let doc = m.to_json(7, Json::Null, Json::Null);
         assert_eq!(
             doc.get("schema").unwrap().as_str(),
             Some("gsim-serve-metrics-v1")
@@ -234,8 +330,17 @@ mod tests {
         let predict = doc.get("predict").unwrap();
         assert_eq!(predict.get("cache_hits").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("cache_entries").unwrap().as_u64(), Some(7));
+        let overload = doc.get("overload").unwrap();
+        assert_eq!(overload.get("shed_heavy").unwrap().as_u64(), Some(4));
+        assert_eq!(overload.get("shed_cheap").unwrap().as_u64(), Some(0));
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(7));
+        assert_eq!(cache.get("negative_hits").unwrap().as_u64(), Some(1));
         let lat = doc.get("latency_us").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        let heavy = doc.get("heavy_latency_us").unwrap();
+        assert_eq!(heavy.get("count").unwrap().as_u64(), Some(1));
+        assert!(m.heavy_p50_us().unwrap() >= 3_000);
         // Round-trips through the parser.
         gsim_json::parse(&doc.render()).unwrap();
     }

@@ -43,11 +43,11 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gsim_core::oneshot::{predict_targets, Observation};
 use gsim_json::{obj, Json};
-use gsim_runner::{Job, Runner, RunnerConfig};
+use gsim_runner::{Job, JobStatus, RunOverrides, Runner, RunnerConfig};
 use gsim_sim::{collect_mrc, GpuConfig, Simulator};
 use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_benchmark, weak_suite};
@@ -56,13 +56,21 @@ use gsim_trace::{
 };
 use gsim_tracestore::{StoreConfig, StoreError, StoreStats, TraceMeta, TraceStore};
 
-use crate::cache::{fnv1a, ResultCache};
+use crate::cache::{fnv1a, NegativeCache, ResultCache};
 use crate::http::{Request, Response, ShutdownFlag};
 use crate::metrics::{Metrics, RunnerJobCounter};
+use crate::overload::{retry_after_secs, AdmissionGate, EndpointClass};
 use crate::singleflight::{Role, SingleFlight};
 
 /// Response-body schema tag.
 const PREDICT_SCHEMA: &str = "gsim-serve-predict-v1";
+/// Schema tag of the degraded (MRC-only) predict body.
+const PREDICT_DEGRADED_SCHEMA: &str = "gsim-serve-predict-degraded-v1";
+/// Per-request deadline header (milliseconds; overrides the configured
+/// default; `0` disables the deadline for this request).
+const DEADLINE_HEADER: &str = "x-gsim-deadline-ms";
+/// Capacity of the negative (400-verdict) cache.
+const NEGATIVE_CACHE_CAPACITY: usize = 256;
 /// Largest accepted request body for `/v1/predict`.
 const MAX_PREDICT_BYTES: usize = 64 * 1024;
 /// Largest accepted target system size.
@@ -83,6 +91,19 @@ pub struct ServeConfig {
     pub trace_store_dir: Option<PathBuf>,
     /// Byte budget for stored trace blobs (0 = default 1 GiB).
     pub trace_store_bytes: u64,
+    /// Default predict deadline in milliseconds; `0` means none. A
+    /// request's `X-Gsim-Deadline-Ms` header overrides it either way.
+    pub default_deadline_ms: u64,
+    /// Concurrent `POST /v1/predict` requests admitted before shedding
+    /// with 429 (0 = default 8).
+    pub max_inflight_predicts: usize,
+    /// Concurrent cheap requests (catalogs, uploads, metrics) admitted
+    /// before shedding (0 = default 64).
+    pub max_inflight_cheap: usize,
+    /// Predict leaders concurrently inside the simulation pool beyond
+    /// which new MRC-capable predicts degrade to the MRC-only fast path
+    /// (0 = half the predict budget).
+    pub degrade_threshold: usize,
 }
 
 /// A client-visible error: HTTP status plus message. Cloneable so
@@ -227,11 +248,15 @@ enum SimOut {
 pub struct PredictService {
     runner: Runner,
     cache: ResultCache,
+    negative: NegativeCache,
     flights: SingleFlight<Outcome>,
     metrics: Arc<Metrics>,
     store: TraceStore,
     stages: StageCache,
     shutdown: ShutdownFlag,
+    gate: AdmissionGate,
+    default_deadline_ms: u64,
+    degrade_threshold: i64,
 }
 
 impl PredictService {
@@ -274,14 +299,33 @@ impl PredictService {
                 ..StoreConfig::default()
             },
         )?;
+        let max_heavy = if cfg.max_inflight_predicts == 0 {
+            8
+        } else {
+            cfg.max_inflight_predicts
+        };
+        let max_cheap = if cfg.max_inflight_cheap == 0 {
+            64
+        } else {
+            cfg.max_inflight_cheap
+        };
+        let degrade_threshold = if cfg.degrade_threshold == 0 {
+            (max_heavy / 2).max(1)
+        } else {
+            cfg.degrade_threshold
+        };
         Ok(Arc::new(Self {
             runner,
             cache: ResultCache::new(capacity, cfg.cache_dir)?,
+            negative: NegativeCache::new(NEGATIVE_CACHE_CAPACITY),
             flights: SingleFlight::new(),
             metrics: Arc::clone(&metrics),
             store,
             stages: StageCache::default(),
             shutdown,
+            gate: AdmissionGate::new(max_cheap, max_heavy),
+            default_deadline_ms: cfg.default_deadline_ms,
+            degrade_threshold: i64::try_from(degrade_threshold).unwrap_or(i64::MAX),
         }))
     }
 
@@ -314,24 +358,29 @@ impl PredictService {
             }
             ("GET", "/v1/workloads") => {
                 bump(&self.metrics.workloads);
-                Response::json(200, workloads_json().render())
+                self.cheap(|| Response::json(200, workloads_json().render()))
             }
             ("POST", "/v1/predict") => {
                 bump(&self.metrics.predict);
-                self.predict(&req.body)
+                self.predict(req)
             }
             ("POST", "/v1/traces") => {
                 bump(&self.metrics.traces);
-                self.trace_upload(&req.body)
+                self.cheap(|| self.trace_upload(&req.body))
             }
             ("GET", "/v1/traces") => {
                 bump(&self.metrics.traces);
-                self.trace_list()
+                self.cheap(|| self.trace_list())
             }
             ("GET", "/metrics") => {
                 bump(&self.metrics.metrics);
-                let store = store_stats_json(&self.store.stats());
-                Response::json(200, self.metrics.to_json(self.cache.len(), store).render())
+                self.cheap(|| {
+                    let store = store_stats_json(&self.store.stats());
+                    let doc = self
+                        .metrics
+                        .to_json(self.cache.len(), store, self.admission_json());
+                    Response::json(200, doc.render())
+                })
             }
             ("POST", "/v1/shutdown") => {
                 bump(&self.metrics.shutdown);
@@ -395,13 +444,93 @@ impl PredictService {
         Response::json(200, body.render())
     }
 
-    /// `POST /v1/predict`: normalize, address, then hit the cache, join
-    /// an identical in-flight computation, or lead a new one.
-    fn predict(&self, body: &[u8]) -> Response {
-        let plan = match parse_request(body, Some(&self.store)) {
+    /// Runs a cheap-class request under its admission budget, shedding
+    /// with a one-second `Retry-After` when it is exhausted (cheap work
+    /// clears in microseconds; one second is already generous).
+    fn cheap(&self, f: impl FnOnce() -> Response) -> Response {
+        match self.gate.try_admit(EndpointClass::Cheap) {
+            Some(_permit) => f(),
+            None => {
+                self.metrics.shed_cheap.fetch_add(1, Ordering::Relaxed);
+                shed_response(1, "request budget exhausted; retry shortly")
+            }
+        }
+    }
+
+    /// The `overload.admission` group of the `/metrics` document.
+    fn admission_json(&self) -> Json {
+        obj([
+            (
+                "limit_cheap",
+                Json::from(self.gate.limit(EndpointClass::Cheap)),
+            ),
+            (
+                "limit_heavy",
+                Json::from(self.gate.limit(EndpointClass::Heavy)),
+            ),
+            (
+                "inflight_cheap",
+                Json::from(self.gate.inflight(EndpointClass::Cheap)),
+            ),
+            (
+                "inflight_heavy",
+                Json::from(self.gate.inflight(EndpointClass::Heavy)),
+            ),
+        ])
+    }
+
+    /// The request's deadline instant: the `X-Gsim-Deadline-Ms` header
+    /// when present, else the configured default; `None` when disabled.
+    fn deadline_of(&self, req: &Request) -> Result<Option<Instant>, ApiError> {
+        let ms = match req.header(DEADLINE_HEADER) {
+            Some(v) => v.trim().parse::<u64>().map_err(|_| {
+                ApiError::bad("X-Gsim-Deadline-Ms must be an integer number of milliseconds")
+            })?,
+            None => self.default_deadline_ms,
+        };
+        Ok((ms > 0).then(|| Instant::now() + Duration::from_millis(ms)))
+    }
+
+    /// `POST /v1/predict`: admit (or shed), normalize, address, then hit
+    /// the cache, join an identical in-flight computation, or lead a new
+    /// one — degrading to the MRC-only fast path when the simulation
+    /// pool is saturated, and abandoning work past its deadline.
+    fn predict(&self, req: &Request) -> Response {
+        let fail = || {
+            self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+        };
+        let deadline = match self.deadline_of(req) {
+            Ok(d) => d,
+            Err(e) => {
+                fail();
+                return e.response();
+            }
+        };
+        let Some(_permit) = self.gate.try_admit(EndpointClass::Heavy) else {
+            self.metrics.shed_heavy.fetch_add(1, Ordering::Relaxed);
+            fail();
+            let secs = retry_after_secs(
+                self.metrics.heavy_p50_us(),
+                self.gate.inflight(EndpointClass::Heavy),
+            );
+            return shed_response(secs, "predict budget exhausted; service is at capacity");
+        };
+        // Byte-identical bodies we already rejected with 400 skip the
+        // parser. Keyed on raw bytes: only deterministic verdicts
+        // (never 404 trace-not-found) are stored below.
+        let nkey = fnv1a(&req.body);
+        if let Some(message) = self.negative.get(nkey) {
+            self.metrics.negative_hits.fetch_add(1, Ordering::Relaxed);
+            fail();
+            return ApiError::bad(message.as_str()).response();
+        }
+        let plan = match parse_request(&req.body, Some(&self.store)) {
             Ok(plan) => plan,
             Err(e) => {
-                self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+                if e.status == 400 {
+                    self.negative.put(nkey, &e.message);
+                }
+                fail();
                 return e.response();
             }
         };
@@ -420,23 +549,48 @@ impl PredictService {
             Role::Leader(promise) => {
                 self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                 self.metrics.computations.fetch_add(1, Ordering::Relaxed);
-                let outcome: Outcome = match self.compute(&plan, key) {
-                    Ok(body) => {
+                let saturated =
+                    self.metrics.sims_inflight.load(Ordering::Relaxed) >= self.degrade_threshold;
+                let started = Instant::now();
+                let outcome: Outcome = match self.compute(&plan, key, deadline, saturated) {
+                    Ok((body, degraded)) => {
                         let body = Arc::new(body);
-                        self.cache.put(key, &plan.canonical, Arc::clone(&body));
+                        if degraded {
+                            // A degraded body is an overload artifact,
+                            // not the request's answer: publish it to
+                            // the followers waiting right now, but never
+                            // cache it as *the* result.
+                            self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.cache.put(key, &plan.canonical, Arc::clone(&body));
+                        }
                         Ok(body)
                     }
                     Err(e) => Err(e),
                 };
+                self.metrics.observe_heavy(started.elapsed());
                 self.flights.publish(key, promise, outcome.clone());
                 self.respond(outcome, "miss")
             }
             Role::Follower(handle) => {
                 self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                match handle.wait() {
-                    Ok(outcome) => self.respond((*outcome).clone(), "coalesced"),
+                // Followers inherit the leader's work but keep their own
+                // deadline: stop waiting when it passes.
+                let waited = match deadline {
+                    Some(d) => handle.wait_timeout(d.saturating_duration_since(Instant::now())),
+                    None => handle.wait().map(Some),
+                };
+                match waited {
+                    Ok(Some(outcome)) => self.respond((*outcome).clone(), "coalesced"),
+                    Ok(None) => {
+                        self.metrics
+                            .deadline_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        fail();
+                        deadline_error().response()
+                    }
                     Err(_) => {
-                        self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
+                        fail();
                         ApiError::internal("prediction flight abandoned").response()
                     }
                 }
@@ -450,7 +604,18 @@ impl PredictService {
                 .with_header("X-Gsim-Cache", cache_status),
             Err(e) => {
                 self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
-                e.response()
+                let resp = e.response();
+                if e.status == 503 {
+                    // A transient failure: tell the client when a retry
+                    // is likely to find a calmer pool.
+                    let secs = retry_after_secs(
+                        self.metrics.heavy_p50_us(),
+                        self.gate.inflight(EndpointClass::Heavy),
+                    );
+                    resp.with_header("Retry-After", secs.to_string())
+                } else {
+                    resp
+                }
             }
         }
     }
@@ -464,12 +629,28 @@ impl PredictService {
     /// workload's semantic hash, no jobs are scheduled at all — the
     /// path that makes a trace predict of an already-seen workload
     /// simulation-free.
-    fn compute(&self, plan: &Plan, key: u64) -> Result<String, ApiError> {
+    ///
+    /// When `degrade` is set and the scale-model observations are not
+    /// already staged, MRC-capable plans skip the timing simulations
+    /// entirely and return the MRC-only degraded body; the returned
+    /// flag tells the caller which body it got (degraded bodies are
+    /// never result-cached). The `deadline` bounds the runner jobs; a
+    /// run cut short maps to 504.
+    fn compute(
+        &self,
+        plan: &Plan,
+        key: u64,
+        deadline: Option<Instant>,
+        degrade: bool,
+    ) -> Result<(String, bool), ApiError> {
         let cfg_of = |sms: u32| GpuConfig::paper_target(sms, plan.scale);
         let sim_job = |label: String, sms: u32, wl: PlanWorkload| {
             let cfg = cfg_of(sms);
             let metrics = Arc::clone(&self.metrics);
             Job::new(label, move || {
+                if gsim_faults::active().is_some_and(|f| f.job_panic()) {
+                    panic!("injected fault: simulation job panic");
+                }
                 metrics.timing_sims_started.fetch_add(1, Ordering::Relaxed);
                 let stats = wl.simulate(cfg.clone());
                 SimOut::Point(SimPoint {
@@ -518,6 +699,34 @@ impl PredictService {
                     .expect("stage cache poisoned")
                     .get(&mrc_key)
                     .cloned();
+                if degrade && cached_obs.is_none() {
+                    // Saturated pool and no staged observations: answer
+                    // with the functional-replay MRC alone, computed on
+                    // this request's thread — no timing simulations.
+                    let pts = match mrc_points {
+                        Some(pts) => pts,
+                        None => {
+                            let configs: Vec<GpuConfig> =
+                                plan.ladder.iter().map(|&s| cfg_of(s)).collect();
+                            let pts: Vec<(u32, f64)> = plan
+                                .ladder
+                                .iter()
+                                .copied()
+                                .zip(wl.mrc_mpki(&configs))
+                                .collect();
+                            // Stage it: the eventual full predict (and
+                            // any sibling degraded one) reuses it.
+                            self.stages
+                                .mrcs
+                                .lock()
+                                .expect("stage cache poisoned")
+                                .entry(mrc_key)
+                                .or_insert_with(|| pts.clone());
+                            pts
+                        }
+                    };
+                    return Ok((degraded_body(plan, &pts), true));
+                }
                 if cached_obs.is_some() {
                     self.metrics.stage_obs_hits.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -569,14 +778,46 @@ impl PredictService {
             points.push(b);
         }
         if !jobs.is_empty() {
-            let reports = self.runner.run(&format!("predict-{key:016x}"), jobs);
+            let overrides = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        self.metrics
+                            .deadline_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(deadline_error());
+                    }
+                    // A deadline-bound run must not retry: a retry would
+                    // double the worst-case wall time past the promise.
+                    RunOverrides::deadline(left)
+                }
+                None => RunOverrides::default(),
+            };
+            self.metrics.sims_inflight.fetch_add(1, Ordering::Relaxed);
+            let reports = self
+                .runner
+                .run_with(&format!("predict-{key:016x}"), jobs, overrides);
+            self.metrics.sims_inflight.fetch_sub(1, Ordering::Relaxed);
             for report in reports {
                 let name = report.name.clone();
+                let timed_out = matches!(report.status, JobStatus::TimedOut);
                 match report.into_ok() {
                     Some(SimOut::Point(p)) => points.push(p),
                     Some(SimOut::Mrc(m)) => mrc_points = Some(m),
+                    None if timed_out => {
+                        self.metrics
+                            .deadline_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(deadline_error());
+                    }
                     None => {
-                        return Err(ApiError::internal(format!("job {name} failed")));
+                        // Crashed even after the runner's retry: the
+                        // failure is transient (a panic, an injected
+                        // fault), not a verdict on the request.
+                        return Err(ApiError {
+                            status: 503,
+                            message: format!("job {name} failed; retry later"),
+                        });
                     }
                 }
             }
@@ -669,8 +910,50 @@ impl PredictService {
             ("cliff_at", Json::from(forecast.cliff_at)),
             ("predictions", Json::Arr(predictions)),
         ]);
-        Ok(body.render())
+        Ok((body.render(), false))
     }
+}
+
+/// A `429` with the computed `Retry-After`.
+fn shed_response(retry_after_secs: u64, message: &str) -> Response {
+    ApiError {
+        status: 429,
+        message: message.into(),
+    }
+    .response()
+    .with_header("Retry-After", retry_after_secs.to_string())
+}
+
+/// The `504` for work cancelled at its deadline.
+fn deadline_error() -> ApiError {
+    ApiError {
+        status: 504,
+        message: "deadline exceeded before the prediction completed".into(),
+    }
+}
+
+/// The MRC-only degraded body: the request echo, the functional-replay
+/// miss-rate curve and its cliff — everything the memory miniature can
+/// say without a timing simulation. Marked `"degraded": true` and tagged
+/// with its own schema; deliberately free of `predictions`.
+fn degraded_body(plan: &Plan, pts: &[(u32, f64)]) -> String {
+    let mrc = gsim_core::SizedMrc::new(pts.iter().copied());
+    let cliff_at = gsim_core::detect_cliff(&mrc).map(|i| mrc.points()[i + 1].0);
+    obj([
+        ("schema", Json::from(PREDICT_DEGRADED_SCHEMA)),
+        ("request", plan.normalized.clone()),
+        ("degraded", Json::from(true)),
+        (
+            "mrc",
+            Json::Arr(
+                pts.iter()
+                    .map(|&(s, m)| Json::Arr(vec![Json::from(s), Json::from(m)]))
+                    .collect(),
+            ),
+        ),
+        ("cliff_at", Json::from(cliff_at)),
+    ])
+    .render()
 }
 
 /// The `GET /v1/workloads` catalog.
@@ -732,6 +1015,7 @@ fn store_stats_json(s: &StoreStats) -> Json {
         ("dedup_hits", Json::from(s.dedup_hits)),
         ("validation_failures", Json::from(s.validation_failures)),
         ("evictions", Json::from(s.evictions)),
+        ("recovered", Json::from(s.recovered)),
         ("store_bytes", Json::from(s.store_bytes)),
         ("entries", Json::from(s.entries)),
     ])

@@ -1,0 +1,147 @@
+//! Crash-recovery e2e: kill the server, tear the tail of its persisted
+//! prediction cache mid-record (as a crash mid-append would), restart,
+//! and verify that only the torn record is lost — every intact record
+//! still serves as a byte-identical cache hit.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gsim_serve::{PredictService, ServeConfig, Server, ServerConfig, ShutdownFlag};
+
+const BODY_A: &str = r#"{"pattern": {"kind": "streaming", "footprint_mb": 1.0}, "target_sms": 64}"#;
+const BODY_B: &str = r#"{"pattern": {"kind": "streaming", "footprint_mb": 2.0}, "target_sms": 64}"#;
+
+struct RunningServer {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    join: JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn start(cache_dir: &Path) -> Self {
+        let shutdown = ShutdownFlag::new();
+        let service = PredictService::new(
+            ServeConfig {
+                runner_threads: 2,
+                cache_dir: Some(cache_dir.to_path_buf()),
+                ..ServeConfig::default()
+            },
+            shutdown.clone(),
+        )
+        .expect("service starts");
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), shutdown.clone())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let join = std::thread::spawn(move || {
+            server
+                .serve(Arc::new(move |req| service.handle(req)))
+                .expect("serve loop")
+        });
+        Self {
+            addr,
+            shutdown,
+            join,
+        }
+    }
+
+    fn stop(self) {
+        self.shutdown.trigger();
+        self.join.join().expect("server thread");
+    }
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(raw.as_bytes()).expect("send");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read response");
+    let header_end = out
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&out[..header_end]).expect("utf8 head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, out[header_end + 4..].to_vec())
+}
+
+fn cache_header(headers: &[(String, String)]) -> Option<&str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == "x-gsim-cache")
+        .map(|(_, v)| v.as_str())
+}
+
+fn fresh_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsim-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+#[test]
+fn torn_cache_tail_drops_only_the_torn_record() {
+    let cache_dir = fresh_cache_dir("crash");
+
+    // Populate the persistent cache with two predictions, in order.
+    let server = RunningServer::start(&cache_dir);
+    let (status, _, body_a) = request(server.addr, "POST", "/v1/predict", BODY_A);
+    assert_eq!(status, 200);
+    let (status, _, _) = request(server.addr, "POST", "/v1/predict", BODY_B);
+    assert_eq!(status, 200);
+    server.stop();
+
+    // Tear the tail as a crash mid-append would: the file is append-only
+    // (A's line first, then B's), so cutting bytes off the end leaves
+    // B's record syntactically broken while A's stays intact.
+    let file = cache_dir.join("predictions.jsonl");
+    let bytes = std::fs::read(&file).expect("read cache file");
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    assert!(lines.len() >= 2, "expected two persisted records");
+    let last_len = lines.last().unwrap().len();
+    let keep = bytes.len() - last_len / 2;
+    std::fs::write(&file, &bytes[..keep]).expect("truncate mid-record");
+
+    // Restart: A must still be a byte-identical hit, B is recomputed.
+    let server = RunningServer::start(&cache_dir);
+    let (status, headers, body) = request(server.addr, "POST", "/v1/predict", BODY_A);
+    assert_eq!(status, 200);
+    assert_eq!(
+        cache_header(&headers),
+        Some("hit"),
+        "intact record must survive a torn tail"
+    );
+    assert_eq!(body, body_a, "recovered body must be byte-identical");
+
+    let (status, headers, _) = request(server.addr, "POST", "/v1/predict", BODY_B);
+    assert_eq!(status, 200);
+    assert_eq!(
+        cache_header(&headers),
+        Some("miss"),
+        "the torn record must be dropped, not half-served"
+    );
+    server.stop();
+}

@@ -1,0 +1,326 @@
+//! End-to-end tests of the overload behavior over real HTTP sockets:
+//! admission control sheds with `429` + `Retry-After`, deadlines cut
+//! predicts off with `504`, a saturated pool degrades to the MRC-only
+//! fast path (never cached as the real answer), and byte-identical bad
+//! requests replay their `400` verdict from the negative cache.
+//!
+//! No fault plan is installed here — fault-injecting tests live in
+//! `e2e_chaos.rs`, a separate binary, because a `gsim-faults` plan is
+//! process-global and would leak into every test in this one.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gsim_serve::{PredictService, ServeConfig, Server, ServerConfig, ShutdownFlag};
+
+/// Heavy enough to hold its admission slot while the test probes the
+/// gate, light enough to finish in a few seconds.
+const SLOW_BODY: &str =
+    r#"{"pattern": {"kind": "global_sweep", "footprint_mb": 8.0, "passes": 4}, "target_sms": 64}"#;
+
+struct RunningServer {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    join: JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn start(cfg: ServeConfig) -> Self {
+        let shutdown = ShutdownFlag::new();
+        let service = PredictService::new(cfg, shutdown.clone()).expect("service starts");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 8,
+                ..ServerConfig::default()
+            },
+            shutdown.clone(),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let join = std::thread::spawn(move || {
+            server
+                .serve(Arc::new(move |req| service.handle(req)))
+                .expect("serve loop")
+        });
+        Self {
+            addr,
+            shutdown,
+            join,
+        }
+    }
+
+    fn stop(self) {
+        self.shutdown.trigger();
+        self.join.join().expect("server thread");
+    }
+}
+
+/// One-shot HTTP client with optional extra headers; returns
+/// (status, lowercased headers, body).
+fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+    for (k, v) in extra_headers {
+        raw.push_str(&format!("{k}: {v}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    s.write_all(raw.as_bytes()).expect("send");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read response");
+    parse_response(&out)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    request_with(addr, method, path, &[], body)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf8 head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[header_end + 4..].to_vec())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn metrics(addr: SocketAddr) -> gsim_json::Json {
+    let (status, _, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    gsim_json::parse(std::str::from_utf8(&body).expect("utf8 metrics")).expect("metrics json")
+}
+
+fn metric(doc: &gsim_json::Json, group: &str, name: &str) -> u64 {
+    doc.get(group)
+        .and_then(|g| g.get(name))
+        .and_then(gsim_json::Json::as_u64)
+        .unwrap_or_else(|| panic!("missing metric {group}.{name} in {}", doc.render()))
+}
+
+/// Polls `/metrics` until `f` observes what it wants or ~5s elapse.
+fn wait_for(addr: SocketAddr, what: &str, f: impl Fn(&gsim_json::Json) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if f(&metrics(addr)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn inflight_heavy(doc: &gsim_json::Json) -> u64 {
+    doc.get("overload")
+        .and_then(|o| o.get("admission"))
+        .and_then(|a| a.get("inflight_heavy"))
+        .and_then(gsim_json::Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn over_budget_predicts_shed_with_429_and_retry_after() {
+    let server = RunningServer::start(ServeConfig {
+        runner_threads: 1,
+        max_inflight_predicts: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    // Occupy the single predict slot with a slow computation.
+    let slow = std::thread::spawn(move || request(addr, "POST", "/v1/predict", SLOW_BODY));
+    wait_for(addr, "the slow predict to be admitted", |m| {
+        inflight_heavy(m) >= 1
+    });
+
+    // Everything else bounces immediately — distinct bodies so none of
+    // them could coalesce onto the in-flight leader even in principle.
+    let mut shed = 0;
+    for i in 0..3 {
+        let body = format!(
+            r#"{{"pattern": {{"kind": "streaming", "footprint_mb": {}.0}}, "target_sms": 64}}"#,
+            i + 1
+        );
+        let (status, headers, _) = request(addr, "POST", "/v1/predict", &body);
+        assert_eq!(status, 429, "over-budget predict must shed, not queue");
+        let retry_after = header(&headers, "retry-after")
+            .unwrap_or_else(|| panic!("429 without Retry-After: {headers:?}"));
+        let secs: u64 = retry_after
+            .parse()
+            .expect("Retry-After is integral seconds");
+        assert!((1..=60).contains(&secs), "Retry-After {secs} out of range");
+        shed += 1;
+    }
+
+    // The admitted predict is unharmed by the shedding around it.
+    let (status, _, _) = slow.join().expect("slow predict thread");
+    assert_eq!(status, 200, "the admitted predict must still succeed");
+
+    let m = metrics(addr);
+    assert_eq!(
+        metric(&m, "overload", "shed_heavy"),
+        shed,
+        "shed counter must match the rejected requests: {}",
+        m.render()
+    );
+    assert_eq!(metric(&m, "overload", "shed_cheap"), 0, "{}", m.render());
+    server.stop();
+}
+
+#[test]
+fn deadline_header_cuts_predicts_off_with_504() {
+    let server = RunningServer::start(ServeConfig {
+        runner_threads: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    let (status, _, body) = request_with(
+        addr,
+        "POST",
+        "/v1/predict",
+        &[("X-Gsim-Deadline-Ms", "1")],
+        SLOW_BODY,
+    );
+    assert_eq!(
+        status,
+        504,
+        "a 1ms deadline must expire: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let m = metrics(addr);
+    assert!(
+        metric(&m, "predict", "deadline_timeouts") >= 1,
+        "{}",
+        m.render()
+    );
+
+    // A malformed deadline is the client's fault, not a timeout.
+    let (status, _, _) = request_with(
+        addr,
+        "POST",
+        "/v1/predict",
+        &[("X-Gsim-Deadline-Ms", "soon")],
+        SLOW_BODY,
+    );
+    assert_eq!(status, 400);
+    server.stop();
+}
+
+#[test]
+fn saturated_pool_degrades_to_mrc_only_and_never_caches_it() {
+    let server = RunningServer::start(ServeConfig {
+        runner_threads: 1,
+        max_inflight_predicts: 4,
+        degrade_threshold: 1, // one leader in the pool already saturates
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    let slow = std::thread::spawn(move || request(addr, "POST", "/v1/predict", SLOW_BODY));
+    wait_for(addr, "the slow predict to occupy the pool", |m| {
+        m.get("sims_inflight")
+            .and_then(gsim_json::Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    });
+
+    // An MRC-capable predict sent into the saturated pool degrades.
+    let body = r#"{"pattern": {"kind": "streaming", "footprint_mb": 2.0}, "target_sms": 64}"#;
+    let (status, _, resp) = request(addr, "POST", "/v1/predict", body);
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&resp).expect("utf8 body");
+    assert!(text.contains("\"degraded\":true"), "{text}");
+    assert!(
+        text.contains("gsim-serve-predict-degraded-v1"),
+        "degraded bodies carry their own schema: {text}"
+    );
+    assert!(
+        !text.contains("\"predictions\""),
+        "a degraded body must not fabricate predictions: {text}"
+    );
+
+    let (status, _, _) = slow.join().expect("slow predict thread");
+    assert_eq!(status, 200);
+
+    // The degraded body was never result-cached: once the pool is calm,
+    // the same request computes the full answer (a miss, not a hit).
+    let (status, headers, resp) = request(addr, "POST", "/v1/predict", body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "x-gsim-cache"),
+        Some("miss"),
+        "degraded bodies must not poison the result cache"
+    );
+    let text = std::str::from_utf8(&resp).expect("utf8 body");
+    assert!(text.contains("\"predictions\""), "{text}");
+    assert!(!text.contains("\"degraded\":true"), "{text}");
+
+    let m = metrics(addr);
+    assert_eq!(metric(&m, "predict", "degraded"), 1, "{}", m.render());
+    server.stop();
+}
+
+#[test]
+fn repeated_bad_requests_replay_the_400_verdict_from_the_negative_cache() {
+    let server = RunningServer::start(ServeConfig::default());
+    let addr = server.addr;
+
+    let bad = r#"{"workload": "bfs", "target_sms": 64, "tyop": 1}"#;
+    let (status, _, first) = request(addr, "POST", "/v1/predict", bad);
+    assert_eq!(status, 400);
+    let (status, _, second) = request(addr, "POST", "/v1/predict", bad);
+    assert_eq!(status, 400);
+    assert_eq!(first, second, "the replayed verdict must be identical");
+
+    let m = metrics(addr);
+    assert_eq!(metric(&m, "cache", "negative_hits"), 1, "{}", m.render());
+
+    // A well-formed unknown trace_ref is a 404 and must NOT be
+    // negative-cached: the trace may be uploaded a moment later.
+    let miss = r#"{"trace_ref": "00000000000000aa", "target_sms": 64}"#;
+    let (status, _, _) = request(addr, "POST", "/v1/predict", miss);
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "POST", "/v1/predict", miss);
+    assert_eq!(status, 404);
+    let m = metrics(addr);
+    assert_eq!(
+        metric(&m, "cache", "negative_hits"),
+        1,
+        "404s must bypass the negative cache: {}",
+        m.render()
+    );
+    server.stop();
+}

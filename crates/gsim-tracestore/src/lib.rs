@@ -25,10 +25,15 @@
 //!
 //! Ingest fully *validates* the upload by decoding it (both format
 //! versions accepted, resource limits enforced), transcodes it to v2,
-//! writes the blob to a temp file and `rename`s it into place (atomic on
-//! POSIX), then appends the index entry. A crash can leave a temp file or
-//! an unindexed blob, never a corrupt index entry pointing at a bad blob;
-//! stale index lines and size mismatches are dropped on open.
+//! writes the blob to a temp file, `fsync`s it, `rename`s it into place
+//! (atomic on POSIX) and `fsync`s the containing directory so the rename
+//! itself survives power loss, then appends (and `fsync`s) the index
+//! entry. A crash can therefore leave only a temp file or an unindexed
+//! blob, never a corrupt index entry pointing at a bad blob — and open
+//! repairs both: temp files are deleted, stale or unparsable index lines
+//! (including a torn tail from a crash mid-append) are dropped, and
+//! valid blobs the index never recorded are re-validated and re-indexed
+//! (counted in [`StoreStats::recovered`]).
 //!
 //! Eviction is oldest-first by ingest sequence once the configured byte
 //! budget is exceeded; the most recent ingest is never evicted.
@@ -102,6 +107,9 @@ pub struct StoreStats {
     pub validation_failures: u64,
     /// Entries evicted to fit the byte budget.
     pub evictions: u64,
+    /// Valid blobs found on open that the index had no entry for
+    /// (crash between blob rename and index append), re-indexed.
+    pub recovered: u64,
     /// Bytes currently stored.
     pub store_bytes: u64,
     /// Entries currently stored.
@@ -155,6 +163,46 @@ struct Inner {
     dedup_hits: u64,
     validation_failures: u64,
     evictions: u64,
+    recovered: u64,
+    /// Fault injector consulted on blob I/O. Defaults to the
+    /// process-wide plan; tests swap in a private one.
+    faults: Option<&'static gsim_faults::Injector>,
+}
+
+/// Flushes a directory's own metadata (the rename/unlink journal on
+/// POSIX). Best effort: platforms where directories cannot be fsynced
+/// (or opened) still get the file-level syncs.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Fully streams an orphaned blob and, if it decodes cleanly and its
+/// semantic hash matches its file name, returns a fresh index entry
+/// for it.
+fn validate_blob(path: &Path, trace_ref: &str, limits: TraceLimits, seq: u64) -> Option<TraceMeta> {
+    let bytes = fs::metadata(path).ok()?.len();
+    let f = File::open(path).ok()?;
+    let mut reader = TraceReader::with_limits(io::BufReader::new(f), limits).ok()?;
+    while reader.next_warp().ok()?.is_some() {}
+    let name = reader.name().to_string();
+    let n_kernels = reader.n_kernels() as u64;
+    let stats = *reader.stats()?;
+    if format!("{:016x}", stats.semantic_hash) != trace_ref {
+        return None;
+    }
+    Some(TraceMeta {
+        trace_ref: trace_ref.to_string(),
+        name,
+        n_kernels,
+        total_warps: stats.total_warps,
+        total_ops: stats.total_ops,
+        total_warp_instrs: stats.total_warp_instrs,
+        bytes,
+        seq,
+    })
 }
 
 /// A thread-safe, content-addressed store of validated traces.
@@ -218,7 +266,8 @@ impl Inner {
             }
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.root.join(INDEX_FILE))
+        fs::rename(&tmp, self.root.join(INDEX_FILE))?;
+        fsync_dir(&self.root)
     }
 
     fn append_index(&self, meta: &TraceMeta) -> io::Result<()> {
@@ -227,7 +276,9 @@ impl Inner {
             .append(true)
             .open(self.root.join(INDEX_FILE))?;
         writeln!(f, "{}", meta_to_json(meta).render())?;
-        f.sync_all()
+        f.sync_all()?;
+        // The append may have created the file; persist its dirent too.
+        fsync_dir(&self.root)
     }
 
     /// Evicts oldest entries until the budget fits, sparing the entry
@@ -311,7 +362,48 @@ impl TraceStore {
             }
         }
         entries.sort_by_key(|e| e.seq);
-        let next_seq = entries.last().map_or(0, |e| e.seq + 1);
+        let mut next_seq = entries.last().map_or(0, |e| e.seq + 1);
+
+        // Crash recovery: a crash after the blob rename but before the
+        // index append leaves a valid blob the index never saw. Find such
+        // orphans, re-validate them, and give them fresh index entries
+        // instead of losing the data; interrupted ingests' temp files are
+        // deleted. Orphans are re-indexed in name order (deterministic).
+        let mut recovered = 0u64;
+        let mut orphans: Vec<String> = Vec::new();
+        for dirent in fs::read_dir(root.join(BLOB_DIR))? {
+            let dirent = dirent?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                let _ = fs::remove_file(dirent.path());
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".gstr") else {
+                continue;
+            };
+            let canonical = stem.len() == 16
+                && stem
+                    .bytes()
+                    .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+            if canonical && !seen.contains_key(stem) {
+                orphans.push(stem.to_string());
+            }
+        }
+        orphans.sort_unstable();
+        for trace_ref in orphans {
+            let path = root.join(blob_rel(&trace_ref));
+            let Some(meta) = validate_blob(&path, &trace_ref, cfg.limits, next_seq) else {
+                // Not a decodable v2 trace under our limits, or content
+                // doesn't match its name: corrupt, not recoverable.
+                dropped += 1;
+                let _ = fs::remove_file(&path);
+                continue;
+            };
+            next_seq += 1;
+            recovered += 1;
+            entries.push(meta);
+        }
+
         let inner = Inner {
             root,
             cfg,
@@ -321,8 +413,10 @@ impl TraceStore {
             dedup_hits: 0,
             validation_failures: dropped,
             evictions: 0,
+            recovered,
+            faults: gsim_faults::active(),
         };
-        if dropped > 0 {
+        if dropped > 0 || recovered > 0 {
             inner.rewrite_index()?;
         }
         Ok(Self {
@@ -367,13 +461,32 @@ impl TraceStore {
             return Ok((meta, true));
         }
 
-        let tmp = inner.root.join(BLOB_DIR).join(format!(".tmp-{trace_ref}"));
-        {
+        let blob_dir = inner.root.join(BLOB_DIR);
+        let tmp = blob_dir.join(format!(".tmp-{trace_ref}"));
+        let faults = inner.faults;
+        let write_result = (|| -> io::Result<()> {
             let mut f = File::create(&tmp)?;
+            // Injected fault: persist only a prefix, as a crash mid-write
+            // would, and fail the ingest. The rename never happens, so the
+            // store must stay consistent (no index entry, no blob).
+            if let Some(short) = faults.and_then(|inj| inj.store_short_write(blob.len())) {
+                f.write_all(&blob[..short])?;
+                f.sync_all()?;
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected fault: short blob write",
+                ));
+            }
             f.write_all(&blob)?;
             f.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write_result {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
         }
         fs::rename(&tmp, inner.blob_path(&trace_ref))?;
+        fsync_dir(&blob_dir)?;
 
         let meta = TraceMeta {
             trace_ref,
@@ -452,13 +565,16 @@ impl TraceStore {
     ///
     /// Panics if the store mutex was poisoned.
     pub fn load(&self, trace_ref: &str) -> Result<TracedWorkload, StoreError> {
-        let (path, limits) = {
+        let (path, limits, faults) = {
             let inner = self.inner.lock().expect("trace store lock");
             if !inner.entries.iter().any(|e| e.trace_ref == trace_ref) {
                 return Err(StoreError::NotFound(trace_ref.to_string()));
             }
-            (inner.blob_path(trace_ref), inner.cfg.limits)
+            (inner.blob_path(trace_ref), inner.cfg.limits, inner.faults)
         };
+        if let Some(delay) = faults.and_then(|inj| inj.store_read_delay()) {
+            std::thread::sleep(delay);
+        }
         let f = File::open(path)?;
         TracedWorkload::read_with_limits(io::BufReader::new(f), limits).map_err(StoreError::Invalid)
     }
@@ -488,6 +604,17 @@ impl TraceStore {
         self.inner.lock().expect("trace store lock").entries.clone()
     }
 
+    /// Replaces the fault injector this store consults on blob I/O
+    /// (default: the process-wide plan from [`gsim_faults::install`]).
+    /// For tests and chaos harnesses that need store-local faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned.
+    pub fn set_faults(&self, faults: Option<&'static gsim_faults::Injector>) {
+        self.inner.lock().expect("trace store lock").faults = faults;
+    }
+
     /// Session counters and current gauges.
     ///
     /// # Panics
@@ -500,6 +627,7 @@ impl TraceStore {
             dedup_hits: inner.dedup_hits,
             validation_failures: inner.validation_failures,
             evictions: inner.evictions,
+            recovered: inner.recovered,
             store_bytes: inner.store_bytes(),
             entries: inner.entries.len() as u64,
         }
@@ -643,6 +771,86 @@ mod tests {
         // The loadable survivor still decodes to the right content.
         let loaded = store.load(&keep).expect("load");
         assert_eq!(semantic_hash_of(&loaded), semantic_hash_of(&wl_a));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_reindexes_orphaned_blobs_and_sweeps_temp_files() {
+        let dir = tmpdir("orphan");
+        let wl_a = workload(30, 1024);
+        let wl_b = workload(31, 2048);
+        let (indexed, orphan) = {
+            let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+            let (a, _) = store.ingest_bytes(&trace_bytes(&wl_a)).expect("a");
+            let (b, _) = store.ingest_bytes(&trace_bytes(&wl_b)).expect("b");
+            (a, b)
+        };
+        // Simulate a crash between blob rename and index append: keep b's
+        // blob but rewrite the index without its entry, with a torn tail.
+        let index = dir.join(INDEX_FILE);
+        let keep_line = fs::read_to_string(&index)
+            .expect("index")
+            .lines()
+            .find(|l| l.contains(&indexed.trace_ref))
+            .expect("indexed line")
+            .to_string();
+        fs::write(&index, format!("{keep_line}\n{{\"ref\":\"torn")).expect("rewrite");
+        // Plus leftovers a crash mid-ingest would leave behind.
+        let tmp = dir.join(BLOB_DIR).join(".tmp-deadbeefdeadbeef");
+        fs::write(&tmp, b"partial").expect("tmp");
+        // And a canonical-looking blob whose content doesn't match its
+        // name — must be dropped, not recovered.
+        let fake = dir.join(BLOB_DIR).join("00000000000000aa.gstr");
+        fs::write(&fake, trace_bytes(&wl_a)).expect("fake");
+
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("reopen");
+        let s = store.stats();
+        assert_eq!(s.entries, 2, "indexed + recovered orphan");
+        assert_eq!(s.recovered, 1);
+        // Dropped: the torn index tail and the mismatched fake blob.
+        assert_eq!(s.validation_failures, 2);
+        assert!(!tmp.exists(), "temp file swept");
+        assert!(!fake.exists(), "mismatched blob deleted");
+        let loaded = store.load(&orphan.trace_ref).expect("recovered loads");
+        assert_eq!(semantic_hash_of(&loaded), semantic_hash_of(&wl_b));
+        // Recovered entry is re-sequenced after survivors and durable: a
+        // third open sees a clean index, nothing recovered or dropped.
+        assert!(store.get(&orphan.trace_ref).expect("meta").seq > indexed.seq);
+        drop(store);
+        let again = TraceStore::open(&dir, StoreConfig::default()).expect("third open");
+        let s = again.stats();
+        assert_eq!((s.entries, s.recovered, s.validation_failures), (2, 0, 0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_short_write_fails_ingest_and_leaves_store_consistent() {
+        let dir = tmpdir("shortwrite");
+        // A store-local injector (not the process-wide plan, which would
+        // leak the fault into every other test): cut every blob write.
+        let plan = gsim_faults::FaultPlan::parse("seed=1,store_short_write_p=1.0").expect("plan");
+        let faults: &'static gsim_faults::Injector =
+            Box::leak(Box::new(gsim_faults::Injector::new(plan)));
+        let store = TraceStore::open(&dir, StoreConfig::default()).expect("open");
+        store.set_faults(Some(faults));
+        let bytes = trace_bytes(&workload(40, 1024));
+        let err = store
+            .ingest_bytes(&bytes)
+            .expect_err("short write must fail ingest");
+        assert!(matches!(err, StoreError::Io(_)));
+        let s = store.stats();
+        assert_eq!((s.entries, s.ingests), (0, 0));
+        let blobs: Vec<_> = fs::read_dir(dir.join(BLOB_DIR))
+            .expect("blob dir")
+            .collect();
+        assert!(blobs.is_empty(), "no blob or temp file left behind");
+
+        // With faults off again the identical bytes ingest fine — the
+        // failed attempt left nothing poisoned behind.
+        store.set_faults(None);
+        let (meta, dup) = store.ingest_bytes(&bytes).expect("clean retry");
+        assert!(!dup);
+        assert!(store.load(&meta.trace_ref).is_ok());
         fs::remove_dir_all(&dir).ok();
     }
 }
