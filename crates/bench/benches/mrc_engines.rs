@@ -11,7 +11,11 @@
 use std::cell::Cell;
 
 use gsim_bench::tinybench::{fast_mode, Group, JsonReport};
+use gsim_core::plan::{
+    collect_sampled, synthesize_observation, Fit, PlanWorkload, SampledCollectConfig,
+};
 use gsim_mem::mrc::{DistanceEngine, NaiveStack, ShardsStack, TreeStack};
+use gsim_runner::{RunOverrides, Runner, RunnerConfig};
 use gsim_sim::{collect_mrc, GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
 use gsim_trace::{MemScale, WarpStream};
@@ -114,9 +118,86 @@ fn stack_engines(rep: &mut JsonReport) {
     }
 }
 
+/// Per-stage latency of the staged collect→fit→predict plan (DESIGN.md
+/// §14) on bfs, a memory-bound workload the gate answers functionally.
+/// `fast_path_end_to_end` is the whole cache-miss fast path — the
+/// service's millisecond-class claim lives or dies on this record.
+fn predict_stages(rep: &mut JsonReport) {
+    let bench = strong_benchmark("bfs", scale()).expect("bfs exists");
+    let wl = PlanWorkload::Synthetic(bench.workload.clone());
+    let sizes = [8u32, 16, 32, 64, 128];
+    let configs: Vec<GpuConfig> = sizes
+        .iter()
+        .map(|&s| GpuConfig::paper_target(s, scale()))
+        .collect();
+    let scfg = SampledCollectConfig::default();
+    let runner = Runner::new(RunnerConfig::default());
+    let targets = [32u32, 64, 128];
+
+    let g = Group::new("predict_stages").samples(samples());
+    if let Some(median) = g.bench("stage_collect", || {
+        collect_sampled(
+            &wl,
+            &configs,
+            &scfg,
+            Some((&runner, RunOverrides::default())),
+        )
+        .expect("sampled collect")
+    }) {
+        rep.record("predict_stages/stage_collect", median, 1, None);
+    }
+
+    let collected = collect_sampled(&wl, &configs, &scfg, None).expect("sampled collect");
+    let mrc = collected.sized_mrc();
+    let (small_cfg, large_cfg) = (&configs[0], &configs[1]);
+    if let Some(median) = g.bench("stage_fit", || {
+        Fit::new(
+            synthesize_observation(&collected, small_cfg),
+            synthesize_observation(&collected, large_cfg),
+            Some(&mrc),
+        )
+        .expect("fit")
+    }) {
+        rep.record("predict_stages/stage_fit", median, 1, None);
+    }
+
+    let fit = Fit::new(
+        synthesize_observation(&collected, small_cfg),
+        synthesize_observation(&collected, large_cfg),
+        Some(&mrc),
+    )
+    .expect("fit");
+    if let Some(median) = g.bench("stage_predict", || {
+        fit.forecast(&targets).expect("forecast")
+    }) {
+        rep.record("predict_stages/stage_predict", median, 1, None);
+    }
+
+    if let Some(median) = g.bench("fast_path_end_to_end", || {
+        let collected = collect_sampled(
+            &wl,
+            &configs,
+            &scfg,
+            Some((&runner, RunOverrides::default())),
+        )
+        .expect("sampled collect");
+        let mrc = collected.sized_mrc();
+        let fit = Fit::new(
+            synthesize_observation(&collected, small_cfg),
+            synthesize_observation(&collected, large_cfg),
+            Some(&mrc),
+        )
+        .expect("fit");
+        fit.forecast(&targets).expect("forecast")
+    }) {
+        rep.record("predict_stages/fast_path_end_to_end", median, 1, None);
+    }
+}
+
 fn main() {
     let mut rep = JsonReport::for_target("mrc_engines");
     detailed_simulation(&mut rep);
     stack_engines(&mut rep);
+    predict_stages(&mut rep);
     rep.write();
 }

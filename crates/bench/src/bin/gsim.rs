@@ -12,10 +12,12 @@
 //! gsim trace ls [--store DIR]
 //! gsim trace-dump <benchmark> -o <file> [--scale D]
 //! gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]
+//! gsim predict <benchmark> [targets...] [--scale D] [--threads N]
+//!              [--path auto|fast|full] [--fast-path-gate X]
 //! gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR]
 //!            [--default-deadline-ms N] [--max-inflight-predicts N]
 //!            [--max-inflight-cheap N] [--degrade-threshold N]
-//!            [--drain-grace-ms N] [--fault-plan SPEC]
+//!            [--drain-grace-ms N] [--fast-path-gate X] [--fault-plan SPEC]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
@@ -35,6 +37,16 @@
 //! store. Trace decode failures map to distinct exit codes: 3 = not a
 //! trace, 4 = unsupported version, 5 = corrupt, 6 = over the size limit
 //! (`--max-trace-mb`), 1 = I/O.
+//!
+//! `predict` drives the staged collect→fit→predict plan (DESIGN.md §14)
+//! from the command line: a sampled sharded Stage-1 collection feeds the
+//! compute-intensity gate, memory-bound workloads are answered from
+//! roofline-synthesized fits in milliseconds, and compute-sensitive ones
+//! escalate to the two scale-model timing simulations run concurrently
+//! on the runner pool. `--path` forces either path; `--fast-path-gate`
+//! moves the memory-pressure threshold (default 1.0; under `serve` the
+//! same flag tunes the service's gate, `inf` escalates every `auto`
+//! request).
 //!
 //! `--sim-threads N` shards each simulation's per-SM phase over N threads
 //! (`--threads` parallelises *across* sweep jobs instead; under `serve`
@@ -78,10 +90,12 @@ fn usage() -> ! {
          gsim trace ls [--store DIR]\n  \
          gsim trace-dump <benchmark> -o <file> [--scale D]\n  \
          gsim trace-run <file> [--sms N] [--scale D] [--sim-threads N]\n  \
+         gsim predict <benchmark> [targets...] [--scale D] [--threads N] \
+         [--path auto|fast|full] [--fast-path-gate X]\n  \
          gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR] \
          [--runner-threads N] [--default-deadline-ms N] [--max-inflight-predicts N] \
          [--max-inflight-cheap N] [--degrade-threshold N] [--drain-grace-ms N] \
-         [--fault-plan SPEC]"
+         [--fast-path-gate X] [--fault-plan SPEC]"
     );
     exit(2)
 }
@@ -107,6 +121,8 @@ struct Flags {
     max_inflight_cheap: usize,
     degrade_threshold: usize,
     drain_grace_ms: u64,
+    fast_path_gate: f64,
+    path: String,
     fault_plan: Option<String>,
     positional: Vec<String>,
 }
@@ -133,6 +149,8 @@ fn parse(args: &[String]) -> Flags {
         max_inflight_cheap: 0,
         degrade_threshold: 0,
         drain_grace_ms: 5000,
+        fast_path_gate: 0.0,
+        path: "auto".to_string(),
         fault_plan: None,
         positional: Vec::new(),
     };
@@ -205,6 +223,23 @@ fn parse(args: &[String]) -> Flags {
             "--max-inflight-cheap" => f.max_inflight_cheap = num("--max-inflight-cheap") as usize,
             "--degrade-threshold" => f.degrade_threshold = num("--degrade-threshold") as usize,
             "--drain-grace-ms" => f.drain_grace_ms = u64::from(num("--drain-grace-ms")),
+            "--fast-path-gate" => {
+                f.fast_path_gate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|g: &f64| *g >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--fast-path-gate takes a non-negative number (or inf)");
+                        exit(2)
+                    });
+            }
+            "--path" => match it.next().map(String::as_str) {
+                Some(p @ ("auto" | "fast" | "full")) => f.path = p.to_string(),
+                _ => {
+                    eprintln!("--path takes auto, fast, or full");
+                    exit(2)
+                }
+            },
             "--fault-plan" => match it.next() {
                 Some(spec) => f.fault_plan = Some(spec.clone()),
                 None => {
@@ -651,6 +686,155 @@ fn main() {
                 &st,
             );
         }
+        "predict" => {
+            use std::time::Instant;
+
+            use gsim_core::plan::{
+                collect_sampled, observation_of, observe_scale_models, synthesize_observation, Fit,
+                PlanWorkload, SampledCollectConfig,
+            };
+            use gsim_runner::RunOverrides;
+
+            let name = f.positional.first().unwrap_or_else(|| usage());
+            let bench = strong_benchmark(name, f.scale).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name}; try `gsim list`");
+                exit(2)
+            });
+            let mut targets: Vec<u32> = f.positional[1..]
+                .iter()
+                .map(|t| {
+                    t.parse().unwrap_or_else(|_| {
+                        eprintln!("bad target {t}: targets are SM counts");
+                        exit(2)
+                    })
+                })
+                .collect();
+            if targets.is_empty() {
+                targets = vec![32, 64, 128];
+            }
+            targets.sort_unstable();
+            targets.dedup();
+
+            let (small, large) = (8u32, 16u32);
+            let cfg_of = |sms: u32| GpuConfig::paper_target(sms, f.scale);
+            // Collect over the whole doubling ladder through the largest
+            // target: the replay pass dominates, the readout is cheap.
+            let mut ladder = vec![small];
+            while *ladder.last().expect("non-empty") < *targets.last().expect("non-empty") {
+                ladder.push(ladder.last().expect("non-empty").saturating_mul(2));
+            }
+            let configs: Vec<GpuConfig> = ladder.iter().map(|&z| cfg_of(z)).collect();
+            let wl = PlanWorkload::Synthetic(bench.workload.clone());
+            let runner = Runner::new(RunnerConfig {
+                threads: f.threads.unwrap_or(0),
+                ..RunnerConfig::default()
+            });
+            let gate = if f.fast_path_gate == 0.0 {
+                1.0
+            } else {
+                f.fast_path_gate
+            };
+
+            let t_collect = Instant::now();
+            let collected = collect_sampled(
+                &wl,
+                &configs,
+                &SampledCollectConfig::default(),
+                Some((&runner, RunOverrides::default())),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("collection failed: {e}");
+                exit(1)
+            });
+            let collect_time = t_collect.elapsed();
+            let pressure = collected.memory_pressure(&cfg_of(*targets.last().expect("non-empty")));
+            let fast = match f.path.as_str() {
+                "fast" => true,
+                "full" => false,
+                _ => pressure >= gate,
+            };
+            let mrc = collected.sized_mrc();
+
+            let t_fit = Instant::now();
+            let fit = if fast {
+                Fit::new(
+                    synthesize_observation(&collected, &cfg_of(small)),
+                    synthesize_observation(&collected, &cfg_of(large)),
+                    Some(&mrc),
+                )
+            } else {
+                let (st_s, st_l) = observe_scale_models(
+                    &runner,
+                    &wl,
+                    &cfg_of(small),
+                    &cfg_of(large),
+                    RunOverrides::default(),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("scale-model simulation failed: {e}");
+                    exit(1)
+                });
+                Fit::new(
+                    observation_of(small, &st_s),
+                    observation_of(large, &st_l),
+                    Some(&mrc),
+                )
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("fit failed: {e}");
+                exit(1)
+            });
+            let fit_time = t_fit.elapsed();
+
+            let t_predict = Instant::now();
+            let forecast = fit.forecast(&targets).unwrap_or_else(|e| {
+                eprintln!("prediction failed: {e}");
+                exit(2)
+            });
+            let predict_time = t_predict.elapsed();
+
+            println!(
+                "{name} staged predict ({}): pressure {pressure:.2} vs gate {gate:.2} -> {} path",
+                f.scale,
+                if fast { "fast" } else { "full" }
+            );
+            println!(
+                "  stages: collect {:.2} ms, fit {:.2} ms ({}), predict {:.3} ms",
+                collect_time.as_secs_f64() * 1e3,
+                fit_time.as_secs_f64() * 1e3,
+                if fast {
+                    "roofline synthesis"
+                } else {
+                    "2 concurrent timing sims"
+                },
+                predict_time.as_secs_f64() * 1e3,
+            );
+            println!(
+                "  scale models: {} SMs IPC {:.1} (f_mem {:.2}), {} SMs IPC {:.1} (f_mem {:.2})",
+                fit.small().size,
+                fit.small().ipc,
+                fit.small().f_mem,
+                fit.large().size,
+                fit.large().ipc,
+                fit.large().f_mem,
+            );
+            match forecast.cliff_at {
+                Some(at) => println!(
+                    "  correction factor {:.3}, cliff at {at} SMs",
+                    forecast.correction_factor
+                ),
+                None => println!(
+                    "  correction factor {:.3}, no cliff on the ladder",
+                    forecast.correction_factor
+                ),
+            }
+            for t in &forecast.targets {
+                println!("  {:>6} SMs:", t.target);
+                for m in &t.by_method {
+                    println!("    {:<14} IPC {:>10.1}", m.method, m.predicted_ipc);
+                }
+            }
+        }
         "serve" => {
             use std::net::ToSocketAddrs;
             use std::sync::Arc;
@@ -706,6 +890,7 @@ fn main() {
                     max_inflight_predicts: f.max_inflight_predicts,
                     max_inflight_cheap: f.max_inflight_cheap,
                     degrade_threshold: f.degrade_threshold,
+                    fast_path_gate: f.fast_path_gate,
                     ..ServeConfig::default()
                 },
                 shutdown.clone(),

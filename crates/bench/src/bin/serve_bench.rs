@@ -187,9 +187,12 @@ fn one_request(
 
 fn main() {
     let args = parse_args();
-    // Valid predicts: small synthetic patterns (cheap enough to finish,
-    // heavy enough to occupy the pool) plus one suite benchmark.
-    // Duplicates across workers are intentional.
+    // Valid predicts: small synthetic patterns pinned to the full path
+    // (cheap enough to finish, heavy enough to occupy the pool — the
+    // functional-first fast path would sidestep the saturation this
+    // bench is about) plus one suite benchmark left on the default
+    // `auto` path so the fast path sees chaos too. Duplicates across
+    // workers are intentional.
     let bodies: Arc<Vec<String>> = Arc::new(
         [
             (2.0, 1u32, 64u32),
@@ -200,7 +203,7 @@ fn main() {
         .iter()
         .map(|(fp, passes, target)| {
             format!(
-                r#"{{"pattern": {{"kind": "global_sweep", "footprint_mb": {fp}, "passes": {passes}}}, "target_sms": {target}}}"#
+                r#"{{"pattern": {{"kind": "global_sweep", "footprint_mb": {fp}, "passes": {passes}}}, "target_sms": {target}, "path": "full"}}"#
             )
         })
         .chain([r#"{"workload": "bfs", "target_sms": 64}"#.to_string()])

@@ -148,6 +148,11 @@ pub struct Record {
     pub median_ns: u128,
     /// Intra-simulation threads the measured run used (1 = serial).
     pub sim_threads: u32,
+    /// Whether the run asked for more simulation threads than the host
+    /// has logical CPUs — such timings measure scheduler contention,
+    /// not the simulator, and diffs against them are not meaningful.
+    /// `false` when the host size is unknown (`host_logical_cpus` 0).
+    pub oversubscribed: bool,
     /// Simulated cycles per wall-clock second, for simulator benches
     /// (`None` for benches that do not run the timing simulator).
     pub cycles_per_second: Option<f64>,
@@ -163,7 +168,7 @@ pub struct Record {
 ///   "host_logical_cpus": 8,
 ///   "records": [
 ///     {"name": "g/b", "median_ns": 12, "sim_threads": 1,
-///      "cycles_per_second": 3.1e6}
+///      "oversubscribed": false, "cycles_per_second": 3.1e6}
 ///   ]
 /// }
 /// ```
@@ -199,10 +204,12 @@ impl JsonReport {
         cycles: Option<u64>,
     ) {
         let secs = median.as_secs_f64();
+        let cpus = host_logical_cpus();
         self.records.push(Record {
             name: name.into(),
             median_ns: median.as_nanos(),
             sim_threads,
+            oversubscribed: cpus > 0 && sim_threads as usize > cpus,
             cycles_per_second: cycles.filter(|_| secs > 0.0).map(|c| c as f64 / secs),
         });
     }
@@ -223,10 +230,11 @@ impl JsonReport {
             }
             out.push_str(&format!(
                 "\n    {{\"name\": {}, \"median_ns\": {}, \"sim_threads\": {}, \
-                 \"cycles_per_second\": {}}}",
+                 \"oversubscribed\": {}, \"cycles_per_second\": {}}}",
                 gsim_json::json_string(&r.name),
                 r.median_ns,
                 r.sim_threads,
+                r.oversubscribed,
                 match r.cycles_per_second {
                     Some(c) if c.is_finite() => format!("{c:.1}"),
                     _ => "null".into(),
@@ -302,9 +310,26 @@ mod tests {
         assert_eq!(cpus, host_logical_cpus() as u64);
         // 6000 cycles in 3 us = 2e9 cycles/sec.
         assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
+        // Every record says whether its thread ask fit the host.
+        for (i, rec) in doc
+            .get("records")
+            .and_then(gsim_json::Json::as_arr)
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            let threads = rec.get("sim_threads").unwrap().as_u64().unwrap();
+            let expected = cpus > 0 && threads > cpus;
+            assert_eq!(
+                rec.get("oversubscribed").unwrap().as_bool(),
+                Some(expected),
+                "record {i}"
+            );
+        }
         // Zero-duration medians cannot produce a rate.
         assert!(json.contains("\\\"odd\\\""));
-        assert!(json.contains("\"median_ns\": 0, \"sim_threads\": 8, \"cycles_per_second\": null"));
+        assert!(json.contains("\"median_ns\": 0, \"sim_threads\": 8,"));
+        assert!(json.matches("\"cycles_per_second\": null").count() >= 1);
         // Non-simulator benches carry no rate either.
         assert!(json.contains("\"name\": \"g/no_sim\""));
         assert_eq!(json.matches("\"cycles_per_second\": null").count(), 2);

@@ -10,7 +10,7 @@
 //! * [`WeakScalingExperiment`] — Figures 6 and 7.
 //! * [`McmExperiment`] — Figure 8 (multi-chiplet GPUs, Table V).
 
-use gsim_sim::{collect_mrc, ChipletConfig, GpuConfig, Simulator};
+use gsim_sim::{ChipletConfig, GpuConfig, Simulator};
 use gsim_trace::suite::{ScalingClass, StrongBenchmark};
 use gsim_trace::weak::WeakBenchmark;
 use gsim_trace::MemScale;
@@ -20,7 +20,6 @@ use crate::cliff::SizedMrc;
 use crate::error::ModelError;
 use crate::oneshot::{build_predictors, NamedPredictor, Observation};
 use crate::percent_error;
-use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
 
 /// One simulated system point.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,14 +246,9 @@ impl StrongScalingExperiment {
                 )
             })
             .collect();
-        // Functional miss-rate curve over the same capacities.
-        let curve = collect_mrc(&bench.workload, &configs);
-        let mrc = SizedMrc::new(
-            self.sizes
-                .iter()
-                .zip(curve.points())
-                .map(|(&s, p)| (s, p.mpki)),
-        );
+        // Stage 1: functional miss-rate curve over the same capacities,
+        // via the shared staged-plan collector.
+        let mrc = crate::plan::collect_replay(&bench.workload, &configs).sized_mrc();
         let (s, l) = self.model_sizes;
         let obs = |size: u32| {
             measured
@@ -263,19 +257,28 @@ impl StrongScalingExperiment {
                 .expect("scale model size is simulated")
         };
         let (ipc_s, ipc_l, f_mem_l) = (obs(s).ipc, obs(l).ipc, obs(l).f_mem);
-        let methods = build_methods(s, ipc_s, l, ipc_l, Some(&mrc), f_mem_l)?;
+        // Stage 2: the shared fit (also the source of cliff detection).
+        let fit = crate::plan::Fit::new(
+            Observation {
+                size: s,
+                ipc: ipc_s,
+                f_mem: 0.0,
+            },
+            Observation {
+                size: l,
+                ipc: ipc_l,
+                f_mem: f_mem_l,
+            },
+            Some(&mrc),
+        )?;
+        let cliff_at = fit.scale_model().cliff_at();
+        let methods = fit.predictors();
         let targets: Vec<(u32, f64)> = measured
             .iter()
             .filter(|m| m.size > l)
             .map(|m| (m.size, m.ipc))
             .collect();
         let points: Vec<(u32, f64)> = measured.iter().map(|m| (m.size, m.ipc)).collect();
-        let cliff_at = ScaleModelPredictor::new(
-            ScaleModelInputs::new(s, ipc_s, l, ipc_l)
-                .with_sized_mrc(mrc.clone())
-                .with_f_mem(f_mem_l),
-        )?
-        .cliff_at();
         Ok(BenchmarkOutcome {
             abbr: bench.abbr.to_string(),
             expected: bench.expected,

@@ -47,6 +47,7 @@ pub mod experiment;
 pub mod multi_cliff;
 pub mod oneshot;
 pub mod parallel;
+pub mod plan;
 pub mod predictor;
 pub mod report;
 pub mod sampling;
@@ -63,6 +64,10 @@ pub use oneshot::{
     TraceMrc,
 };
 pub use parallel::{SuiteRun, SweepFailure};
+pub use plan::{
+    collect_replay, collect_sampled, observe_scale_models, synthesize_observation, CollectEngine,
+    CollectFailure, CollectStats, Collected, Fit, PlanWorkload, SampledCollectConfig,
+};
 pub use predictor::{
     LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
 };

@@ -12,7 +12,10 @@
 //! [`predict_targets`] is that entry point: scale-model observations in,
 //! per-method IPC predictions out, no ground truth anywhere. The
 //! experiment pipelines build their predictors through the same
-//! [`build_predictors`] so the two paths cannot drift apart.
+//! [`build_predictors`] so the two paths cannot drift apart. Both are
+//! thin wrappers over the Stage-2 [`Fit`](crate::plan::Fit) of the
+//! staged [`plan`](crate::plan) pipeline — the fit/predict arithmetic
+//! lives in exactly one place.
 
 use std::io::Read;
 
@@ -22,10 +25,7 @@ use gsim_trace::{Op, TraceLimits, TraceReadError, TraceReader};
 
 use crate::cliff::SizedMrc;
 use crate::error::ModelError;
-use crate::predictor::{
-    LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
-};
-use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
+use crate::predictor::ScalingPredictor;
 
 /// One simulated scale-model observation, as a prediction input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,31 +57,7 @@ pub fn build_predictors(
     large: Observation,
     mrc: Option<&SizedMrc>,
 ) -> Result<Vec<NamedPredictor>, ModelError> {
-    let (s, l) = (small.size, large.size);
-    let (ipc_s, ipc_l) = (small.ipc, large.ipc);
-    let mut inputs = ScaleModelInputs::new(s, ipc_s, l, ipc_l).with_f_mem(large.f_mem);
-    if let Some(mrc) = mrc {
-        inputs = inputs.with_sized_mrc(mrc.clone());
-    }
-    Ok(vec![
-        (
-            "logarithmic",
-            Box::new(LogRegression::fit(s, ipc_s, l, ipc_l)?) as Box<dyn ScalingPredictor>,
-        ),
-        (
-            "proportional",
-            Box::new(Proportional::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        (
-            "linear",
-            Box::new(LinearRegression::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        (
-            "power-law",
-            Box::new(PowerLawRegression::fit(s, ipc_s, l, ipc_l)?),
-        ),
-        ("scale-model", Box::new(ScaleModelPredictor::new(inputs)?)),
-    ])
+    Ok(crate::plan::Fit::new(small, large, mrc)?.predictors())
 }
 
 /// One method's prediction at one target size.
@@ -140,42 +116,7 @@ pub fn predict_targets(
     mrc: Option<&SizedMrc>,
     targets: &[u32],
 ) -> Result<Forecast, ModelError> {
-    let predictors = build_predictors(small, large, mrc)?;
-    // The scale-model predictor also owns cliff detection and the checked
-    // (non-panicking) prediction path, so keep a concretely typed one
-    // alongside the trait-object roster. Construction is pure arithmetic;
-    // fitting it twice costs nothing.
-    let scale_model = {
-        let mut inputs = ScaleModelInputs::new(small.size, small.ipc, large.size, large.ipc)
-            .with_f_mem(large.f_mem);
-        if let Some(mrc) = mrc {
-            inputs = inputs.with_sized_mrc(mrc.clone());
-        }
-        ScaleModelPredictor::new(inputs)?
-    };
-    let mut forecasts = Vec::with_capacity(targets.len());
-    for &target in targets {
-        // Validate once through the checked path so a bad target surfaces
-        // as an error instead of a panic inside `predict`.
-        let checked = scale_model.predict_checked(target)?;
-        let by_method = predictors
-            .iter()
-            .map(|(name, p)| MethodPrediction {
-                method: name,
-                predicted_ipc: if *name == "scale-model" {
-                    checked
-                } else {
-                    p.predict(f64::from(target))
-                },
-            })
-            .collect();
-        forecasts.push(TargetForecast { target, by_method });
-    }
-    Ok(Forecast {
-        correction_factor: scale_model.correction_factor(),
-        cliff_at: scale_model.cliff_at(),
-        targets: forecasts,
-    })
+    crate::plan::Fit::new(small, large, mrc)?.forecast(targets)
 }
 
 /// The output of [`mrc_from_trace`]: a per-size miss-rate curve plus the

@@ -1,0 +1,962 @@
+//! The staged predict pipeline: **collect → fit → predict**.
+//!
+//! [`oneshot`](crate::oneshot) answers "how fast at 128 SMs?" from two
+//! scale-model observations and a miss-rate curve, but says nothing about
+//! how those inputs are produced. This module makes the production side
+//! explicit, following Accel-Sim's decoupled front-end (arXiv 1810.07269):
+//! separate the cheap functional *collection* of memory behaviour from the
+//! expensive timing simulation, so consumers can cache, parallelise, and —
+//! when the workload is memory-bound — skip the timing stage entirely.
+//!
+//! * **Stage 1 — collect** ([`collect_replay`], [`collect_sampled`]):
+//!   functional replay of the workload's line stream into a miss-rate
+//!   curve plus the stream statistics a compute-intensity gate needs.
+//!   The sampled collector shards the stream across a
+//!   [`Runner`](gsim_runner::Runner) pool with a deterministic merge
+//!   order, so it produces bit-identical results serial or parallel.
+//! * **Stage 2 — fit** ([`Fit`]): the five predictor fits from the
+//!   observations and curve. A [`Fit`] is a plain value — cloneable,
+//!   comparable, cacheable.
+//! * **Stage 3 — predict** ([`Fit::forecast`]): target evaluation,
+//!   byte-identical to [`oneshot::predict_targets`] (which is now a thin
+//!   wrapper over this type).
+//!
+//! The **functional-first fast path** rests on the gate in
+//! [`Collected::memory_pressure`]: a workload whose measured memory
+//! traffic per instruction exceeds the machine's DRAM balance point is
+//! answered from synthesized roofline observations
+//! ([`synthesize_observation`]) plus the replayed curve, with no timing
+//! simulation at all. Compute-sensitive workloads escalate to the real
+//! 8/16-SM simulations, run concurrently via [`observe_scale_models`].
+//!
+//! [`oneshot`]: crate::oneshot
+//! [`oneshot::predict_targets`]: crate::oneshot::predict_targets
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use gsim_mem::mrc::{DistanceEngine, LineRouter, StackDistanceHistogram, TreeStack};
+use gsim_runner::{Job, RunOverrides, Runner};
+use gsim_sim::{FunctionalReplay, GpuConfig, SimStats, Simulator};
+use gsim_trace::{
+    semantic_hash_of, Op, SpecStream, TraceStream, TracedWorkload, WarpStream, Workload,
+    WorkloadModel, THREADS_PER_WARP,
+};
+
+use crate::cliff::SizedMrc;
+use crate::error::ModelError;
+use crate::oneshot::{Forecast, MethodPrediction, NamedPredictor, Observation, TargetForecast};
+use crate::predictor::{
+    LinearRegression, LogRegression, PowerLawRegression, Proportional, ScalingPredictor,
+};
+use crate::scale_model::{ScaleModelInputs, ScaleModelPredictor};
+
+/// Stage tag for the sampled (sharded, fast-path) collection.
+pub const STAGE_COLLECT_SAMPLED: &str = "collect.sampled";
+/// Stage tag for the exact functional-replay collection.
+pub const STAGE_COLLECT_REPLAY: &str = "collect.replay";
+/// Stage tag for the scale-model timing observations.
+pub const STAGE_OBSERVE: &str = "observe";
+/// Stage tag for the predictor fits.
+pub const STAGE_FIT: &str = "fit";
+
+/// A fixed workload a staged plan runs: synthetic (generated streams) or
+/// trace-driven (replayed streams). Both sides implement
+/// [`WorkloadModel`], so the simulator, the collectors, and the semantic
+/// hash treat them uniformly; this enum exists because `WorkloadModel`
+/// has an associated stream type and is not object-safe.
+#[derive(Debug, Clone)]
+pub enum PlanWorkload {
+    /// A generated workload (benchmark suite entry or synthetic pattern).
+    Synthetic(Workload),
+    /// A recorded trace.
+    Traced(Arc<TracedWorkload>),
+}
+
+/// The per-warp stream of a [`PlanWorkload`].
+#[derive(Debug)]
+pub enum PlanStream {
+    /// Stream of a synthetic workload.
+    Synthetic(SpecStream),
+    /// Stream of a recorded trace.
+    Traced(TraceStream),
+}
+
+impl WarpStream for PlanStream {
+    fn next_op(&mut self) -> Option<Op> {
+        match self {
+            Self::Synthetic(s) => s.next_op(),
+            Self::Traced(s) => s.next_op(),
+        }
+    }
+}
+
+impl WorkloadModel for PlanWorkload {
+    type Stream = PlanStream;
+
+    fn name(&self) -> &str {
+        match self {
+            Self::Synthetic(wl) => WorkloadModel::name(wl),
+            Self::Traced(wl) => WorkloadModel::name(&**wl),
+        }
+    }
+
+    fn n_kernels(&self) -> usize {
+        match self {
+            Self::Synthetic(wl) => wl.n_kernels(),
+            Self::Traced(wl) => wl.n_kernels(),
+        }
+    }
+
+    fn grid(&self, kernel: usize) -> (u32, u32) {
+        match self {
+            Self::Synthetic(wl) => wl.grid(kernel),
+            Self::Traced(wl) => wl.grid(kernel),
+        }
+    }
+
+    fn warp_stream(&self, kernel: usize, cta: u32, warp: u32) -> PlanStream {
+        match self {
+            Self::Synthetic(wl) => PlanStream::Synthetic(wl.warp_stream(kernel, cta, warp)),
+            Self::Traced(wl) => PlanStream::Traced(wl.warp_stream(kernel, cta, warp)),
+        }
+    }
+
+    fn approx_warp_instrs(&self) -> u64 {
+        match self {
+            Self::Synthetic(wl) => WorkloadModel::approx_warp_instrs(wl),
+            Self::Traced(wl) => WorkloadModel::approx_warp_instrs(&**wl),
+        }
+    }
+
+    fn kernel_name(&self, kernel: usize) -> String {
+        match self {
+            Self::Synthetic(wl) => WorkloadModel::kernel_name(wl, kernel),
+            Self::Traced(wl) => WorkloadModel::kernel_name(&**wl, kernel),
+        }
+    }
+}
+
+impl PlanWorkload {
+    /// Content identity shared between a synthetic workload and its trace.
+    pub fn semantic_hash(&self) -> u64 {
+        match self {
+            Self::Synthetic(wl) => semantic_hash_of(wl),
+            Self::Traced(wl) => semantic_hash_of(&**wl),
+        }
+    }
+
+    /// Runs one timing simulation.
+    pub fn simulate(&self, cfg: GpuConfig) -> SimStats {
+        match self {
+            Self::Synthetic(wl) => Simulator::new(cfg, wl).run(),
+            Self::Traced(wl) => Simulator::new(cfg, &**wl).run(),
+        }
+    }
+}
+
+/// Which collector produced a [`Collected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectEngine {
+    /// Exact functional replay (L1-filtered, set-associative LLCs) —
+    /// the curve the full prediction path embeds in its responses.
+    Replay,
+    /// Sampled sharded stack-distance collection — the millisecond
+    /// estimate the fast path and the gate run on.
+    Sampled,
+}
+
+/// Stream statistics from Stage 1, the inputs of the compute-intensity
+/// gate. For sampled collection these are totals *of the sampled
+/// stream*; the gate uses only per-instruction ratios, in which the
+/// sampling rates cancel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectStats {
+    /// Thread instructions replayed.
+    pub thread_instrs: u64,
+    /// Memory thread instructions replayed (loads/stores/atomics).
+    pub mem_thread_instrs: u64,
+    /// Pre-L1 line accesses (every line of every memory operation).
+    pub line_accesses: u64,
+    /// Fraction of CTAs replayed (1.0 for exact collection).
+    pub cta_rate: f64,
+    /// Spatial line-sampling keep rate (1.0 for exact collection).
+    pub line_rate: f64,
+}
+
+impl CollectStats {
+    /// Raw memory traffic per thread instruction, in bytes: line accesses
+    /// times the line size over instructions. Sampling-rate-free because
+    /// both counters are measured on the same (sub)stream.
+    pub fn intensity_bytes_per_instr(&self, line_bytes: u32) -> f64 {
+        if self.thread_instrs == 0 {
+            return 0.0;
+        }
+        self.line_accesses as f64 * f64::from(line_bytes) / self.thread_instrs as f64
+    }
+}
+
+/// The machine's DRAM balance point in bytes per thread instruction: the
+/// traffic intensity at which full-rate issue exactly saturates DRAM.
+/// Under proportional scaling this is size-independent (both DRAM
+/// bandwidth and issue width grow with the SM count), so one gate
+/// threshold covers every ladder size.
+pub fn machine_balance_bytes_per_instr(cfg: &GpuConfig) -> f64 {
+    let issue_per_cycle = f64::from(cfg.n_sms) * f64::from(THREADS_PER_WARP);
+    let bytes_per_cycle = cfg.dram_gbs_total() / cfg.sm_clock_ghz;
+    bytes_per_cycle / issue_per_cycle
+}
+
+/// The output of Stage 1: a per-size miss-rate curve plus the stream
+/// statistics it was measured from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collected {
+    /// Which collector ran.
+    pub engine: CollectEngine,
+    /// `(size, MPKI)` at each configuration's LLC capacity, in input
+    /// config order.
+    pub points: Vec<(u32, f64)>,
+    /// Stream statistics for the gate.
+    pub stats: CollectStats,
+}
+
+impl Collected {
+    /// The curve as a [`SizedMrc`] for the predictor fits.
+    pub fn sized_mrc(&self) -> SizedMrc {
+        SizedMrc::new(self.points.iter().copied())
+    }
+
+    /// MPKI at system size `size`, if collected.
+    pub fn mpki_at(&self, size: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, m)| *m)
+    }
+
+    /// The compute-intensity gate: measured traffic intensity over the
+    /// machine balance point. `>= threshold` (conventionally 1.0) means
+    /// DRAM saturates before issue does — the workload is memory-bound
+    /// and the fast path's roofline observations are trustworthy.
+    pub fn memory_pressure(&self, cfg: &GpuConfig) -> f64 {
+        let balance = machine_balance_bytes_per_instr(cfg);
+        if balance <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.stats.intensity_bytes_per_instr(cfg.line_bytes) / balance
+    }
+
+    /// Whether the gate classifies the workload as memory-bound at
+    /// `threshold` (see [`Collected::memory_pressure`]).
+    pub fn is_memory_bound(&self, cfg: &GpuConfig, threshold: f64) -> bool {
+        self.memory_pressure(cfg) >= threshold
+    }
+}
+
+/// Why a pooled collection did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectFailure {
+    /// A shard job exceeded the deadline.
+    TimedOut,
+    /// A shard job crashed; the message is kept.
+    Failed(String),
+}
+
+impl std::fmt::Display for CollectFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TimedOut => write!(f, "collection timed out"),
+            Self::Failed(msg) => write!(f, "collection failed: {msg}"),
+        }
+    }
+}
+
+/// Exact Stage-1 collection: the full functional replay
+/// ([`gsim_sim::collect_mrc`] plus gate statistics in the same pass).
+/// The curve is numerically identical to `collect_mrc` over the same
+/// configs — this is what the full prediction path embeds in responses.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn collect_replay<W: WorkloadModel>(wl: &W, configs: &[GpuConfig]) -> Collected {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let caps: Vec<(u64, u32)> = configs
+        .iter()
+        .map(|c| (c.llc_bytes_total, c.llc_slices))
+        .collect();
+    let biggest = configs
+        .iter()
+        .max_by_key(|c| c.n_sms)
+        .expect("non-empty configs");
+    let mut replay = FunctionalReplay::new(biggest, &caps);
+    replay.run(wl, |threads_per_cta| biggest.ctas_per_sm(threads_per_cta));
+    let points = configs
+        .iter()
+        .zip(replay.curve().points())
+        .map(|(cfg, p)| (cfg.n_sms, p.mpki))
+        .collect();
+    Collected {
+        engine: CollectEngine::Replay,
+        points,
+        stats: CollectStats {
+            thread_instrs: replay.thread_instrs(),
+            mem_thread_instrs: replay.mem_thread_instrs(),
+            line_accesses: replay.line_accesses(),
+            cta_rate: 1.0,
+            line_rate: 1.0,
+        },
+    }
+}
+
+/// Tuning of the sampled sharded collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledCollectConfig {
+    /// CTA-stride sampling: at most this many CTAs per kernel are
+    /// replayed (evenly strided through the grid).
+    pub max_ctas_per_kernel: u32,
+    /// Spatial line-sampling keep rate (SHARDS).
+    pub line_rate: f64,
+    /// Spatial shards the kept lines are routed across. Fixed — results
+    /// never depend on the pool's thread count.
+    pub n_shards: u32,
+    /// Sampled CTAs per generation job (phase-A granularity).
+    pub ctas_per_job: u32,
+}
+
+impl Default for SampledCollectConfig {
+    fn default() -> Self {
+        Self {
+            max_ctas_per_kernel: 64,
+            line_rate: 0.25,
+            n_shards: 8,
+            ctas_per_job: 8,
+        }
+    }
+}
+
+impl SampledCollectConfig {
+    /// Deterministic encoding for content-addressed stage-cache keys.
+    pub fn cache_tag(&self) -> String {
+        format!(
+            "sampled(ctas={},rate={},shards={})",
+            self.max_ctas_per_kernel, self.line_rate, self.n_shards
+        )
+    }
+}
+
+/// One phase-A generation job's output.
+struct ChunkOut {
+    /// Kept line addresses, already routed: `shards[s]` in stream order.
+    shards: Vec<Vec<u64>>,
+    thread_instrs: u64,
+    mem_thread_instrs: u64,
+    line_accesses: u64,
+}
+
+/// One phase-A work item: a strided range of sampled CTAs of one kernel.
+#[derive(Clone)]
+struct Chunk {
+    kernel: usize,
+    /// Range of sampled *slots*; slot `i` replays CTA `i * stride`.
+    slots: Range<u32>,
+    stride: u32,
+}
+
+fn replay_chunk<W: WorkloadModel>(wl: &W, router: &LineRouter, chunk: &Chunk) -> ChunkOut {
+    let mut out = ChunkOut {
+        shards: vec![Vec::new(); router.n_shards() as usize],
+        thread_instrs: 0,
+        mem_thread_instrs: 0,
+        line_accesses: 0,
+    };
+    let warps = wl.warps_per_cta(chunk.kernel);
+    for slot in chunk.slots.clone() {
+        let cta = slot * chunk.stride;
+        for w in 0..warps {
+            let mut stream = wl.warp_stream(chunk.kernel, cta, w);
+            while let Some(op) = stream.next_op() {
+                out.thread_instrs += op.warp_instrs() * u64::from(THREADS_PER_WARP);
+                let Some(access) = op.mem() else { continue };
+                out.mem_thread_instrs += op.warp_instrs() * u64::from(THREADS_PER_WARP);
+                for line in access.lines() {
+                    out.line_accesses += 1;
+                    if let Some(s) = router.route(line) {
+                        out.shards[s as usize].push(line);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sampled Stage-1 collection: CTA-stride sampling plus SHARDS spatial
+/// line sampling, with the kept lines routed across
+/// [`SampledCollectConfig::n_shards`] fixed spatial shards whose exact
+/// stack-distance histograms are computed independently — concurrently on
+/// `pool` when one is given — and merged in ascending shard order.
+///
+/// **Deterministic by construction**: sampling decisions are pure
+/// functions of CTA index and line address, phase outputs are combined in
+/// submission order, and the shard count never follows the thread count,
+/// so serial and pooled runs return bit-identical [`Collected`] values.
+///
+/// The curve is an estimate (warp-major streams, no L1 filter, no
+/// associativity): cliff positions and shape track the exact replay,
+/// absolute MPKI can deviate — which is why the full path keeps
+/// [`collect_replay`]. CTA sampling is compensated by evaluating each
+/// capacity at `capacity × cta_rate`, matching the proportionally
+/// shrunken footprint.
+///
+/// # Errors
+///
+/// Returns a [`CollectFailure`] when a pooled job times out (deadline in
+/// `overrides`) or crashes. The serial path (`pool: None`) only
+/// propagates panics.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or `cfg` is degenerate.
+pub fn collect_sampled<W>(
+    wl: &W,
+    configs: &[GpuConfig],
+    cfg: &SampledCollectConfig,
+    pool: Option<(&Runner, RunOverrides)>,
+) -> Result<Collected, CollectFailure>
+where
+    W: WorkloadModel + Clone + Send + Sync + 'static,
+{
+    assert!(!configs.is_empty(), "need at least one configuration");
+    assert!(cfg.max_ctas_per_kernel > 0 && cfg.ctas_per_job > 0);
+    let router = LineRouter::new(cfg.n_shards, cfg.line_rate);
+
+    // Enumerate sampled work.
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut sampled_ctas = 0u64;
+    let mut total_ctas = 0u64;
+    for kernel in 0..wl.n_kernels() {
+        let (n_ctas, _) = wl.grid(kernel);
+        total_ctas += u64::from(n_ctas);
+        if n_ctas == 0 {
+            continue;
+        }
+        let stride = n_ctas.div_ceil(cfg.max_ctas_per_kernel).max(1);
+        let n_slots = n_ctas.div_ceil(stride);
+        sampled_ctas += u64::from(n_slots);
+        let mut s = 0;
+        while s < n_slots {
+            let e = (s + cfg.ctas_per_job).min(n_slots);
+            chunks.push(Chunk {
+                kernel,
+                slots: s..e,
+                stride,
+            });
+            s = e;
+        }
+    }
+    let cta_rate = if total_ctas == 0 {
+        1.0
+    } else {
+        sampled_ctas as f64 / total_ctas as f64
+    };
+
+    // Phase A: generate + route, in parallel when a pool is available.
+    let outs: Vec<ChunkOut> = match pool {
+        Some((runner, overrides)) if chunks.len() > 1 => {
+            let jobs: Vec<Job<ChunkOut>> = chunks
+                .iter()
+                .map(|chunk| {
+                    let wl = wl.clone();
+                    let router = router.clone();
+                    let chunk = chunk.clone();
+                    Job::new(
+                        format!("collect-k{}c{}", chunk.kernel, chunk.slots.start),
+                        move || replay_chunk(&wl, &router, &chunk),
+                    )
+                })
+                .collect();
+            collect_reports(runner.run_with("collect-sampled", jobs, overrides))?
+        }
+        _ => chunks
+            .iter()
+            .map(|c| replay_chunk(wl, &router, c))
+            .collect(),
+    };
+
+    let mut stats = CollectStats {
+        thread_instrs: 0,
+        mem_thread_instrs: 0,
+        line_accesses: 0,
+        cta_rate,
+        line_rate: router.keep_rate(),
+    };
+    let mut shard_lines: Vec<Vec<u64>> = vec![Vec::new(); cfg.n_shards as usize];
+    for out in outs {
+        stats.thread_instrs += out.thread_instrs;
+        stats.mem_thread_instrs += out.mem_thread_instrs;
+        stats.line_accesses += out.line_accesses;
+        for (acc, lines) in shard_lines.iter_mut().zip(out.shards) {
+            acc.extend(lines);
+        }
+    }
+
+    // Phase B: one exact tree per shard, merged in shard order.
+    let hists: Vec<StackDistanceHistogram> = match pool {
+        Some((runner, overrides)) if cfg.n_shards > 1 => {
+            let jobs: Vec<Job<StackDistanceHistogram>> = shard_lines
+                .into_iter()
+                .enumerate()
+                .map(|(s, lines)| {
+                    Job::new(format!("shard{s}"), move || {
+                        let mut tree = TreeStack::new();
+                        tree.record_all(lines.iter().copied());
+                        tree.finish()
+                    })
+                })
+                .collect();
+            collect_reports(runner.run_with("collect-shards", jobs, overrides))?
+        }
+        _ => shard_lines
+            .into_iter()
+            .map(|lines| {
+                let mut tree = TreeStack::new();
+                tree.record_all(lines);
+                tree.finish()
+            })
+            .collect(),
+    };
+    let hist = router.merge(&hists);
+
+    let kinsns = stats.thread_instrs as f64 / 1e3;
+    let points = configs
+        .iter()
+        .map(|c| {
+            let capacity_lines = c.llc_bytes_total / u64::from(c.line_bytes);
+            let effective = ((capacity_lines as f64 * cta_rate).round() as u64).max(1);
+            let mpki = if kinsns > 0.0 {
+                hist.misses_at(effective) / kinsns
+            } else {
+                0.0
+            };
+            (c.n_sms, mpki)
+        })
+        .collect();
+    Ok(Collected {
+        engine: CollectEngine::Sampled,
+        points,
+        stats,
+    })
+}
+
+/// Unwraps a pooled run's reports (already sorted by submission index)
+/// into their values, or the first failure.
+fn collect_reports<T>(reports: Vec<gsim_runner::JobReport<T>>) -> Result<Vec<T>, CollectFailure> {
+    let mut out = Vec::with_capacity(reports.len());
+    for r in reports {
+        match r.status {
+            gsim_runner::JobStatus::Done(v) => out.push(v),
+            gsim_runner::JobStatus::TimedOut => return Err(CollectFailure::TimedOut),
+            gsim_runner::JobStatus::Panicked(msg) => return Err(CollectFailure::Failed(msg)),
+        }
+    }
+    Ok(out)
+}
+
+/// Synthesizes a scale-model observation from Stage-1 statistics alone —
+/// the fast path's replacement for a timing simulation.
+///
+/// Roofline model per thread instruction: issue takes
+/// `1 / (n_sms × 32)` cycles, memory takes
+/// `MPKI/1000 × line_bytes / DRAM-bytes-per-cycle`; execution runs at
+/// whichever is slower, and `f_mem` is the fraction of the bottleneck
+/// cycle not covered by issue. Exact for the bandwidth-saturated
+/// workloads the gate admits; meaningless for compute-sensitive ones —
+/// which is precisely what the gate screens out.
+///
+/// # Panics
+///
+/// Panics if the collected curve has no point at `cfg.n_sms`.
+pub fn synthesize_observation(collected: &Collected, cfg: &GpuConfig) -> Observation {
+    let mpki = collected
+        .mpki_at(cfg.n_sms)
+        .expect("collected curve must cover the observation size");
+    let issue_cycles = 1.0 / (f64::from(cfg.n_sms) * f64::from(THREADS_PER_WARP));
+    let bytes_per_cycle = cfg.dram_gbs_total() / cfg.sm_clock_ghz;
+    let mem_cycles = mpki / 1000.0 * f64::from(cfg.line_bytes) / bytes_per_cycle;
+    let bottleneck = issue_cycles.max(mem_cycles);
+    let f_mem = if mem_cycles > issue_cycles {
+        (mem_cycles - issue_cycles) / mem_cycles
+    } else {
+        0.0
+    };
+    Observation {
+        size: cfg.n_sms,
+        ipc: 1.0 / bottleneck,
+        f_mem,
+    }
+}
+
+/// Converts one timing simulation's stats into a prediction observation
+/// (sustained IPC, `f_mem`) — the one place this conversion is defined.
+pub fn observation_of(size: u32, stats: &SimStats) -> Observation {
+    Observation {
+        size,
+        ipc: stats.sustained_ipc(),
+        f_mem: stats.f_mem(),
+    }
+}
+
+/// Runs the two scale-model timing simulations **concurrently** on the
+/// runner pool and returns their stats in `(small, large)` order — the
+/// escalation path's Stage 1b. With a multi-thread pool this halves the
+/// escalated-miss latency over running them back-to-back.
+///
+/// # Errors
+///
+/// Returns a [`CollectFailure`] if either simulation times out or
+/// crashes.
+pub fn observe_scale_models(
+    runner: &Runner,
+    wl: &PlanWorkload,
+    small: &GpuConfig,
+    large: &GpuConfig,
+    overrides: RunOverrides,
+) -> Result<(SimStats, SimStats), CollectFailure> {
+    let jobs: Vec<Job<SimStats>> = [small, large]
+        .into_iter()
+        .map(|cfg| {
+            let wl = wl.clone();
+            let cfg = cfg.clone();
+            Job::new(format!("sim@{}sm", cfg.n_sms), move || {
+                wl.simulate(cfg.clone())
+            })
+        })
+        .collect();
+    let mut stats = collect_reports(runner.run_with("scale-models", jobs, overrides))?;
+    let large_stats = stats.pop().expect("two reports");
+    let small_stats = stats.pop().expect("two reports");
+    Ok((small_stats, large_stats))
+}
+
+/// Stage 2: the five predictor fits as one cacheable value.
+///
+/// Holds the concretely typed predictors so it is `Clone + PartialEq`
+/// (content-addressable) and its [`forecast`](Fit::forecast) reproduces
+/// [`predict_targets`](crate::oneshot::predict_targets) byte for byte —
+/// `oneshot` is implemented on top of this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fit {
+    small: Observation,
+    large: Observation,
+    logarithmic: LogRegression,
+    proportional: Proportional,
+    linear: LinearRegression,
+    power_law: PowerLawRegression,
+    scale_model: ScaleModelPredictor,
+}
+
+impl Fit {
+    /// Fits all five methods from the two scale-model observations and
+    /// (for strong scaling) the miss-rate curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the observations are degenerate (sizes not
+    /// `small < large`, non-positive IPC) or a cliff lies beyond the
+    /// scale models but no `f_mem` is usable.
+    pub fn new(
+        small: Observation,
+        large: Observation,
+        mrc: Option<&SizedMrc>,
+    ) -> Result<Self, ModelError> {
+        let (s, l) = (small.size, large.size);
+        let (ipc_s, ipc_l) = (small.ipc, large.ipc);
+        let logarithmic = LogRegression::fit(s, ipc_s, l, ipc_l)?;
+        let proportional = Proportional::fit(s, ipc_s, l, ipc_l)?;
+        let linear = LinearRegression::fit(s, ipc_s, l, ipc_l)?;
+        let power_law = PowerLawRegression::fit(s, ipc_s, l, ipc_l)?;
+        let mut inputs = ScaleModelInputs::new(s, ipc_s, l, ipc_l).with_f_mem(large.f_mem);
+        if let Some(mrc) = mrc {
+            inputs = inputs.with_sized_mrc(mrc.clone());
+        }
+        let scale_model = ScaleModelPredictor::new(inputs)?;
+        Ok(Self {
+            small,
+            large,
+            logarithmic,
+            proportional,
+            linear,
+            power_law,
+            scale_model,
+        })
+    }
+
+    /// The small scale-model observation the fit was built from.
+    pub fn small(&self) -> Observation {
+        self.small
+    }
+
+    /// The large scale-model observation the fit was built from.
+    pub fn large(&self) -> Observation {
+        self.large
+    }
+
+    /// The concrete scale-model predictor (cliff detection, correction
+    /// factor, checked prediction).
+    pub fn scale_model(&self) -> &ScaleModelPredictor {
+        &self.scale_model
+    }
+
+    /// The method roster as named boxed predictors, in the fixed order
+    /// (`logarithmic`, `proportional`, `linear`, `power-law`,
+    /// `scale-model`) the experiment pipelines carry them.
+    pub fn predictors(&self) -> Vec<NamedPredictor> {
+        vec![
+            (
+                "logarithmic",
+                Box::new(self.logarithmic.clone()) as Box<dyn ScalingPredictor>,
+            ),
+            ("proportional", Box::new(self.proportional.clone())),
+            ("linear", Box::new(self.linear.clone())),
+            ("power-law", Box::new(self.power_law.clone())),
+            ("scale-model", Box::new(self.scale_model.clone())),
+        ]
+    }
+
+    /// Stage 3: evaluates every method at each of `targets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a target is not the larger scale model times a
+    /// power of two, or the miss-rate curve does not cover a target past
+    /// the scale models.
+    pub fn forecast(&self, targets: &[u32]) -> Result<Forecast, ModelError> {
+        let mut forecasts = Vec::with_capacity(targets.len());
+        for &target in targets {
+            // Validate once through the checked path so a bad target
+            // surfaces as an error instead of a panic inside `predict`.
+            let checked = self.scale_model.predict_checked(target)?;
+            let t = f64::from(target);
+            let by_method = vec![
+                MethodPrediction {
+                    method: "logarithmic",
+                    predicted_ipc: self.logarithmic.predict(t),
+                },
+                MethodPrediction {
+                    method: "proportional",
+                    predicted_ipc: self.proportional.predict(t),
+                },
+                MethodPrediction {
+                    method: "linear",
+                    predicted_ipc: self.linear.predict(t),
+                },
+                MethodPrediction {
+                    method: "power-law",
+                    predicted_ipc: self.power_law.predict(t),
+                },
+                MethodPrediction {
+                    method: "scale-model",
+                    predicted_ipc: checked,
+                },
+            ];
+            forecasts.push(TargetForecast { target, by_method });
+        }
+        Ok(Forecast {
+            correction_factor: self.scale_model.correction_factor(),
+            cliff_at: self.scale_model.cliff_at(),
+            targets: forecasts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_runner::RunnerConfig;
+    use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec};
+
+    fn ladder(sizes: &[u32], scale: MemScale) -> Vec<GpuConfig> {
+        sizes
+            .iter()
+            .map(|&s| GpuConfig::paper_target(s, scale))
+            .collect()
+    }
+
+    fn membound_workload() -> Workload {
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 60_000).compute_per_mem(1.0);
+        Workload::new("mem", 3, vec![Kernel::new("k", 256, 256, spec); 2])
+    }
+
+    fn compute_workload() -> Workload {
+        let spec = PatternSpec::new(PatternKind::Streaming, 2_000).compute_per_mem(30.0);
+        Workload::new("cmp", 3, vec![Kernel::new("k", 128, 256, spec)])
+    }
+
+    #[test]
+    fn fit_forecast_matches_oneshot_predict_targets() {
+        let mrc = SizedMrc::new([(8, 10.0), (16, 10.0), (32, 10.0), (64, 9.8), (128, 9.5)]);
+        let small = Observation {
+            size: 8,
+            ipc: 100.0,
+            f_mem: 0.3,
+        };
+        let large = Observation {
+            size: 16,
+            ipc: 190.0,
+            f_mem: 0.4,
+        };
+        let via_fit = Fit::new(small, large, Some(&mrc))
+            .unwrap()
+            .forecast(&[32, 64, 128])
+            .unwrap();
+        let via_oneshot =
+            crate::oneshot::predict_targets(small, large, Some(&mrc), &[32, 64, 128]).unwrap();
+        assert_eq!(via_fit, via_oneshot);
+        for t in &via_fit.targets {
+            for m in &t.by_method {
+                assert!(m.predicted_ipc.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn replay_collect_matches_collect_mrc() {
+        let wl = membound_workload();
+        let cfgs = ladder(&[8, 16, 32], MemScale::default());
+        let collected = collect_replay(&wl, &cfgs);
+        let reference = gsim_sim::collect_mrc(&wl, &cfgs);
+        assert_eq!(collected.engine, CollectEngine::Replay);
+        for ((size, mpki), p) in collected.points.iter().zip(reference.points()) {
+            assert_eq!(
+                *size,
+                cfgs.iter()
+                    .find(|c| c.llc_bytes_total == p.capacity_bytes)
+                    .unwrap()
+                    .n_sms
+            );
+            assert_eq!(mpki.to_bits(), p.mpki.to_bits());
+        }
+        assert!(collected.stats.thread_instrs > 0);
+        assert!(collected.stats.line_accesses > 0);
+    }
+
+    #[test]
+    fn sampled_collect_is_pool_invariant() {
+        let wl = membound_workload();
+        let cfgs = ladder(&[8, 16, 32, 64], MemScale::default());
+        let scfg = SampledCollectConfig::default();
+        let serial = collect_sampled(&wl, &cfgs, &scfg, None).unwrap();
+        let runner = Runner::new(RunnerConfig {
+            threads: 2,
+            ..RunnerConfig::default()
+        });
+        let pooled =
+            collect_sampled(&wl, &cfgs, &scfg, Some((&runner, RunOverrides::default()))).unwrap();
+        assert_eq!(
+            serial, pooled,
+            "sampled collection must not depend on the pool"
+        );
+        assert_eq!(serial.engine, CollectEngine::Sampled);
+    }
+
+    #[test]
+    fn sampled_curve_tracks_replayed_shape() {
+        // A working set that thrashes the small LLCs and fits the large
+        // ones: both collectors must agree a cliff exists.
+        let spec =
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 6_000).compute_per_mem(1.0);
+        let wl = Workload::new("cliff", 2, vec![Kernel::new("k", 192, 256, spec); 6]);
+        let cfgs = ladder(&[8, 16, 32, 64, 128], MemScale::default());
+        let exact = collect_replay(&wl, &cfgs);
+        let sampled = collect_sampled(&wl, &cfgs, &SampledCollectConfig::default(), None).unwrap();
+        let drop = |c: &Collected| c.points[0].1 / c.points[4].1.max(1e-6);
+        assert!(
+            drop(&exact) > 2.0 && drop(&sampled) > 2.0,
+            "both collectors must see the cliff: exact {:?} sampled {:?}",
+            exact.points,
+            sampled.points
+        );
+    }
+
+    #[test]
+    fn gate_separates_memory_and_compute_bound() {
+        let cfgs = ladder(&[8, 16], MemScale::default());
+        let scfg = SampledCollectConfig::default();
+        let mem = collect_sampled(&membound_workload(), &cfgs, &scfg, None).unwrap();
+        let cmp = collect_sampled(&compute_workload(), &cfgs, &scfg, None).unwrap();
+        assert!(
+            mem.is_memory_bound(&cfgs[1], 1.0),
+            "sweep pressure {}",
+            mem.memory_pressure(&cfgs[1])
+        );
+        assert!(
+            !cmp.is_memory_bound(&cfgs[1], 1.0),
+            "compute pressure {}",
+            cmp.memory_pressure(&cfgs[1])
+        );
+        // Proportional scaling keeps the balance point size-independent.
+        let b8 = machine_balance_bytes_per_instr(&cfgs[0]);
+        let b16 = machine_balance_bytes_per_instr(&cfgs[1]);
+        assert!((b8 - b16).abs() / b8 < 0.01, "balance {b8} vs {b16}");
+    }
+
+    #[test]
+    fn synthesized_observations_fit_and_forecast() {
+        let cfgs = ladder(&[8, 16, 32, 64, 128], MemScale::default());
+        let collected = collect_sampled(
+            &membound_workload(),
+            &cfgs,
+            &SampledCollectConfig::default(),
+            None,
+        )
+        .unwrap();
+        let small = synthesize_observation(&collected, &cfgs[0]);
+        let large = synthesize_observation(&collected, &cfgs[1]);
+        assert!(small.ipc > 0.0 && large.ipc >= small.ipc);
+        assert!((0.0..1.0).contains(&large.f_mem));
+        let mrc = collected.sized_mrc();
+        let forecast = Fit::new(small, large, Some(&mrc))
+            .unwrap()
+            .forecast(&[32, 64, 128])
+            .unwrap();
+        assert_eq!(forecast.targets.len(), 3);
+        for t in &forecast.targets {
+            let sm = t.method("scale-model").unwrap();
+            assert!(sm.is_finite() && sm > 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_and_synthetic_plan_workloads_collect_identically() {
+        let wl = membound_workload();
+        let mut bytes = Vec::new();
+        gsim_trace::write_trace(&wl, &mut bytes).expect("write");
+        let traced = gsim_trace::TracedWorkload::read(&bytes[..]).expect("read");
+        let synth = PlanWorkload::Synthetic(wl);
+        let traced = PlanWorkload::Traced(Arc::new(traced));
+        assert_eq!(synth.semantic_hash(), traced.semantic_hash());
+        let cfgs = ladder(&[8, 16, 32], MemScale::default());
+        let scfg = SampledCollectConfig::default();
+        let a = collect_sampled(&synth, &cfgs, &scfg, None).unwrap();
+        let b = collect_sampled(&traced, &cfgs, &scfg, None).unwrap();
+        assert_eq!(a, b, "a trace must collect exactly like its source");
+    }
+
+    #[test]
+    fn concurrent_scale_models_match_direct_simulation() {
+        let wl = PlanWorkload::Synthetic(compute_workload());
+        let scale = MemScale::default();
+        let small = GpuConfig::paper_target(8, scale);
+        let large = GpuConfig::paper_target(16, scale);
+        let runner = Runner::new(RunnerConfig {
+            threads: 2,
+            ..RunnerConfig::default()
+        });
+        let (s, l) =
+            observe_scale_models(&runner, &wl, &small, &large, RunOverrides::default()).unwrap();
+        s.assert_deterministic_eq(&wl.simulate(small));
+        l.assert_deterministic_eq(&wl.simulate(large));
+    }
+}

@@ -76,6 +76,32 @@ impl StackDistanceHistogram {
         }
     }
 
+    /// Returns a copy with every distance multiplied by `distance_factor`
+    /// (rounded to the nearest integer distance) and every weight —
+    /// including cold mass — multiplied by `weight_factor`.
+    ///
+    /// This is the SHARDS rescaling step: a spatial sample at rate `r`
+    /// observes distances shrunk by `r`, so reconstructing the full-stream
+    /// histogram takes `distance_factor = 1/r` and a weight factor that
+    /// restores the sampled-out mass.
+    pub fn rescaled(&self, distance_factor: f64, weight_factor: f64) -> StackDistanceHistogram {
+        assert!(
+            distance_factor > 0.0 && weight_factor > 0.0,
+            "rescale factors must be positive"
+        );
+        let mut out = StackDistanceHistogram::new();
+        for (d, &w) in self.counts.iter().enumerate() {
+            if w > 0.0 {
+                out.add(
+                    (d as f64 * distance_factor).round() as u64,
+                    w * weight_factor,
+                );
+            }
+        }
+        out.add_cold(self.cold * weight_factor);
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &StackDistanceHistogram) {
         if other.counts.len() > self.counts.len() {

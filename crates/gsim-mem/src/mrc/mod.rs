@@ -21,10 +21,15 @@
 //!
 //! All exact/approximate stack engines produce a [`StackDistanceHistogram`],
 //! which converts to a [`MissRateCurve`] for any set of capacities.
+//!
+//! For multi-core collection, [`parallel`] routes lines across disjoint
+//! spatial shards whose per-shard histograms can be computed concurrently
+//! and merged deterministically.
 
 mod curve;
 mod histogram;
 mod naive;
+pub mod parallel;
 mod replay;
 mod shards;
 mod tree;
@@ -32,6 +37,7 @@ mod tree;
 pub use curve::{MissRateCurve, MrcPoint};
 pub use histogram::StackDistanceHistogram;
 pub use naive::NaiveStack;
+pub use parallel::LineRouter;
 pub use replay::CapacityReplay;
 pub use shards::ShardsStack;
 pub use tree::TreeStack;

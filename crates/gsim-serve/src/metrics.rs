@@ -99,6 +99,20 @@ pub struct Metrics {
     /// Predict computations whose miss-rate curve came from the
     /// semantic-hash stage cache (no functional replay scheduled).
     pub stage_mrc_hits: AtomicU64,
+    /// Staged predicts whose sampled Stage-1 collection came from the
+    /// stage cache (no collection work scheduled at all).
+    pub stage_collect_hits: AtomicU64,
+    /// Staged predicts whose Stage-2 predictor fits came from the stage
+    /// cache.
+    pub stage_fit_hits: AtomicU64,
+    /// Predict computations answered by the functional-first fast path
+    /// (replayed-MRC fits, zero timing simulations).
+    pub fast_path: AtomicU64,
+    /// Auto-path predict computations the compute-intensity gate
+    /// escalated to the full timing-simulation path.
+    pub escalated: AtomicU64,
+    /// Sampled Stage-1 collections actually executed (stage misses).
+    pub collects_started: AtomicU64,
     /// Detailed timing simulations actually started (excludes the
     /// functional MRC replay job) — the counter trace-driven prediction
     /// tests assert stays flat on stage-cache hits.
@@ -126,6 +140,14 @@ pub struct Metrics {
     /// Wall latency of predict leaders only (cache misses that computed);
     /// its p50 prices the `Retry-After` on shed responses.
     pub heavy_latency: Mutex<Histogram>,
+    /// Wall latency of executed Stage-1 sampled collections (stage-cache
+    /// misses only).
+    pub stage_collect: Mutex<Histogram>,
+    /// Wall latency of executed Stage-2 predictor fits (stage-cache
+    /// misses only).
+    pub stage_fit: Mutex<Histogram>,
+    /// Wall latency of Stage-3 target evaluation on the fast path.
+    pub stage_predict: Mutex<Histogram>,
 }
 
 impl Metrics {
@@ -142,6 +164,15 @@ impl Metrics {
         self.heavy_latency
             .lock()
             .expect("heavy latency histogram poisoned")
+            .record(latency);
+    }
+
+    /// Records one executed stage's wall latency into a per-stage
+    /// histogram (one of [`Metrics::stage_collect`] /
+    /// [`Metrics::stage_fit`] / [`Metrics::stage_predict`]).
+    pub fn observe_stage(hist: &Mutex<Histogram>, latency: Duration) {
+        hist.lock()
+            .expect("stage histogram poisoned")
             .record(latency);
     }
 
@@ -191,6 +222,13 @@ impl Metrics {
                     ("from_trace", Json::from(get(&self.predict_from_trace))),
                     ("stage_obs_hits", Json::from(get(&self.stage_obs_hits))),
                     ("stage_mrc_hits", Json::from(get(&self.stage_mrc_hits))),
+                    (
+                        "stage_collect_hits",
+                        Json::from(get(&self.stage_collect_hits)),
+                    ),
+                    ("stage_fit_hits", Json::from(get(&self.stage_fit_hits))),
+                    ("fast_path", Json::from(get(&self.fast_path))),
+                    ("escalated", Json::from(get(&self.escalated))),
                     ("degraded", Json::from(get(&self.degraded))),
                     (
                         "deadline_timeouts",
@@ -228,6 +266,7 @@ impl Metrics {
                 "runner_jobs_started",
                 Json::from(get(&self.runner_jobs_started)),
             ),
+            ("collects_started", Json::from(get(&self.collects_started))),
             (
                 "in_flight",
                 Json::from(self.in_flight.load(Ordering::Relaxed)),
@@ -255,8 +294,22 @@ impl Metrics {
                     ("mean", Json::from(heavy.mean_us())),
                 ]),
             ),
+            ("stage_collect_us", stage_json(&self.stage_collect)),
+            ("stage_fit_us", stage_json(&self.stage_fit)),
+            ("stage_predict_us", stage_json(&self.stage_predict)),
         ])
     }
+}
+
+/// Renders one per-stage latency histogram's quantile group.
+fn stage_json(hist: &Mutex<Histogram>) -> Json {
+    let h = hist.lock().expect("stage histogram poisoned");
+    obj([
+        ("count", Json::from(h.count())),
+        ("p50", Json::from(h.quantile_us(0.50))),
+        ("p99", Json::from(h.quantile_us(0.99))),
+        ("mean", Json::from(h.mean_us())),
+    ])
 }
 
 /// Per-site injected-fault tallies from the process-global
@@ -341,6 +394,22 @@ mod tests {
         let heavy = doc.get("heavy_latency_us").unwrap();
         assert_eq!(heavy.get("count").unwrap().as_u64(), Some(1));
         assert!(m.heavy_p50_us().unwrap() >= 3_000);
+        assert_eq!(predict.get("fast_path").unwrap().as_u64(), Some(0));
+        assert_eq!(predict.get("escalated").unwrap().as_u64(), Some(0));
+        assert_eq!(predict.get("stage_collect_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("collects_started").unwrap().as_u64(), Some(0));
+        Metrics::observe_stage(&m.stage_collect, Duration::from_micros(700));
+        let doc = m.to_json(7, Json::Null, Json::Null);
+        let stage = doc.get("stage_collect_us").unwrap();
+        assert_eq!(stage.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("stage_fit_us")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
         // Round-trips through the parser.
         gsim_json::parse(&doc.render()).unwrap();
     }

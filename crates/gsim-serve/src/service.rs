@@ -29,6 +29,23 @@
 //! predict runs exactly the two scale models plus the functional MRC
 //! replay.
 //!
+//! # The staged fast path
+//!
+//! A predict request may carry `"path": "auto" | "fast" | "full"`
+//! (default `auto`). Unless forced onto the full path, the service runs
+//! the staged **collect → fit → predict** pipeline from
+//! [`gsim_core::plan`]: a sampled, sharded Stage-1 collection measures
+//! the miss-rate curve and the workload's compute intensity in
+//! milliseconds; a memory-bound workload (measured pressure at or above
+//! the configured gate) is then answered from roofline-synthesized
+//! observations plus that curve — **zero timing simulations** — while a
+//! compute-sensitive one escalates to the full path, whose body is
+//! byte-identical to a forced-`full` request's. Every stage is cached
+//! by the workload's semantic hash plus a stage tag, so repeat requests
+//! over the same content (different targets, a trace of the same
+//! workload) skip straight to Stage 3. The chosen path travels in the
+//! `X-Gsim-Path` response header (`fast` / `full` / `degraded`).
+//!
 //! # Determinism contract
 //!
 //! A prediction body contains only deterministic quantities (IPC, MPKI,
@@ -46,14 +63,16 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gsim_core::oneshot::{predict_targets, Observation};
+use gsim_core::plan::{
+    collect_sampled, synthesize_observation, CollectFailure, Collected, Fit, PlanWorkload,
+    SampledCollectConfig, STAGE_COLLECT_SAMPLED, STAGE_FIT,
+};
 use gsim_json::{obj, Json};
 use gsim_runner::{Job, JobStatus, RunOverrides, Runner, RunnerConfig};
-use gsim_sim::{collect_mrc, GpuConfig, Simulator};
+use gsim_sim::{collect_mrc, GpuConfig};
 use gsim_trace::suite::{strong_benchmark, strong_suite};
 use gsim_trace::weak::{weak_benchmark, weak_suite};
-use gsim_trace::{
-    semantic_hash_of, Kernel, MemScale, PatternKind, PatternSpec, TracedWorkload, Workload,
-};
+use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
 use gsim_tracestore::{StoreConfig, StoreError, StoreStats, TraceMeta, TraceStore};
 
 use crate::cache::{fnv1a, NegativeCache, ResultCache};
@@ -66,6 +85,8 @@ use crate::singleflight::{Role, SingleFlight};
 const PREDICT_SCHEMA: &str = "gsim-serve-predict-v1";
 /// Schema tag of the degraded (MRC-only) predict body.
 const PREDICT_DEGRADED_SCHEMA: &str = "gsim-serve-predict-degraded-v1";
+/// Schema tag of the functional-first fast-path predict body.
+const PREDICT_FAST_SCHEMA: &str = "gsim-serve-predict-fast-v1";
 /// Per-request deadline header (milliseconds; overrides the configured
 /// default; `0` disables the deadline for this request).
 const DEADLINE_HEADER: &str = "x-gsim-deadline-ms";
@@ -104,6 +125,12 @@ pub struct ServeConfig {
     /// which new MRC-capable predicts degrade to the MRC-only fast path
     /// (0 = half the predict budget).
     pub degrade_threshold: usize,
+    /// Compute-intensity gate of the functional-first fast path, as a
+    /// multiple of the machine's DRAM balance point: an `"auto"` request
+    /// whose measured memory pressure meets this threshold is answered
+    /// from replayed-MRC fits alone, with zero timing simulations
+    /// (0 = default 1.0; `f64::INFINITY` escalates every `"auto"`).
+    pub fast_path_gate: f64,
 }
 
 /// A client-visible error: HTTP status plus message. Cloneable so
@@ -160,6 +187,34 @@ struct Plan {
     /// The workload's semantic hash, when already known at parse time
     /// (trace-driven plans: the trace reference *is* the hash).
     semantic: Option<u64>,
+    /// Which prediction path the request asked for.
+    path: PathMode,
+}
+
+/// How a predict request wants its answer computed. Part of the content
+/// address (`|path=…` suffix) but deliberately *not* of the normalized
+/// echo, so an escalated `"auto"` body is byte-identical to a forced
+/// `"full"` one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathMode {
+    /// Gate on measured compute intensity: fast when memory-bound,
+    /// escalate to timing simulations otherwise (the default).
+    Auto,
+    /// Force the functional-first fast path (rejected for plans without
+    /// a miss-rate curve).
+    Fast,
+    /// Force the full timing-simulation path.
+    Full,
+}
+
+impl PathMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Fast => "fast",
+            Self::Full => "full",
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -174,53 +229,34 @@ enum PlanKind {
     },
 }
 
-/// A fixed workload a plan simulates: synthetic (generated streams) or
-/// trace-driven (replayed streams). Both implement
-/// [`gsim_trace::WorkloadModel`], so the simulator, functional replay,
-/// and semantic hash treat them uniformly.
-#[derive(Debug, Clone)]
-enum PlanWorkload {
-    Synthetic(Workload),
-    Traced(Arc<TracedWorkload>),
+/// Functional-replay MPKI of a [`PlanWorkload`] at each config's LLC
+/// capacity, in order — the exact (full-path) miss-rate curve.
+fn mrc_mpki(wl: &PlanWorkload, configs: &[GpuConfig]) -> Vec<f64> {
+    collect_mrc(wl, configs)
+        .points()
+        .iter()
+        .map(|p| p.mpki)
+        .collect()
 }
 
-impl PlanWorkload {
-    fn semantic_hash(&self) -> u64 {
-        match self {
-            Self::Synthetic(wl) => semantic_hash_of(wl),
-            Self::Traced(wl) => semantic_hash_of(&**wl),
-        }
-    }
-
-    fn simulate(&self, cfg: GpuConfig) -> gsim_sim::SimStats {
-        match self {
-            Self::Synthetic(wl) => Simulator::new(cfg, wl).run(),
-            Self::Traced(wl) => Simulator::new(cfg, &**wl).run(),
-        }
-    }
-
-    /// Functional-replay MPKI at each config's LLC capacity, in order.
-    fn mrc_mpki(&self, configs: &[GpuConfig]) -> Vec<f64> {
-        let curve = match self {
-            Self::Synthetic(wl) => collect_mrc(wl, configs),
-            Self::Traced(wl) => collect_mrc(&**wl, configs),
-        };
-        curve.points().iter().map(|p| p.mpki).collect()
-    }
-}
-
-/// Deterministic intermediate results keyed by `(semantic hash, derived
-/// config encodings)`. Both stages are pure functions of the workload's
-/// instruction streams and the GPU configs, so a synthetic workload and
-/// a trace of it share entries — which is what lets a trace-driven
-/// predict skip the timing simulator entirely when the synthetic path
-/// already ran (and vice versa).
+/// Deterministic intermediate results keyed by `(semantic hash, stage
+/// tag + derived config encodings)`. Every stage is a pure function of
+/// the workload's instruction streams and the GPU configs, so a
+/// synthetic workload and a trace of it share entries — which is what
+/// lets a trace-driven predict skip the timing simulator entirely when
+/// the synthetic path already ran (and vice versa).
 #[derive(Default)]
 struct StageCache {
     /// `(hash, small|large config)` → the two scale-model observations.
     observations: Mutex<HashMap<StageKey, (SimPoint, SimPoint)>>,
     /// `(hash, ladder configs)` → `(size, mpki)` miss-rate-curve points.
     mrcs: Mutex<HashMap<StageKey, Vec<(u32, f64)>>>,
+    /// `(hash, collect tag + ladder configs)` → the sampled Stage-1
+    /// collection of the staged fast path.
+    collects: Mutex<HashMap<StageKey, Collected>>,
+    /// `(hash, fit tag + ladder configs)` → the Stage-2 predictor fits
+    /// of the staged fast path.
+    fits: Mutex<HashMap<StageKey, Fit>>,
 }
 
 /// Stage-cache key: the workload's semantic hash plus the exhaustive
@@ -257,6 +293,7 @@ pub struct PredictService {
     gate: AdmissionGate,
     default_deadline_ms: u64,
     degrade_threshold: i64,
+    fast_path_gate: f64,
 }
 
 impl PredictService {
@@ -326,6 +363,11 @@ impl PredictService {
             gate: AdmissionGate::new(max_cheap, max_heavy),
             default_deadline_ms: cfg.default_deadline_ms,
             degrade_threshold: i64::try_from(degrade_threshold).unwrap_or(i64::MAX),
+            fast_path_gate: if cfg.fast_path_gate == 0.0 {
+                1.0
+            } else {
+                cfg.fast_path_gate
+            },
         }))
     }
 
@@ -542,8 +584,10 @@ impl PredictService {
         let key = fnv1a(plan.canonical.as_bytes());
         if let Some(cached) = self.cache.get(key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let path = path_of_body(&cached);
             return Response::json(200, cached.as_bytes().to_vec())
-                .with_header("X-Gsim-Cache", "hit");
+                .with_header("X-Gsim-Cache", "hit")
+                .with_header("X-Gsim-Path", path);
         }
         match self.flights.join(key) {
             Role::Leader(promise) => {
@@ -600,8 +644,12 @@ impl PredictService {
 
     fn respond(&self, outcome: Outcome, cache_status: &str) -> Response {
         match outcome {
-            Ok(body) => Response::json(200, body.as_bytes().to_vec())
-                .with_header("X-Gsim-Cache", cache_status),
+            Ok(body) => {
+                let path = path_of_body(&body);
+                Response::json(200, body.as_bytes().to_vec())
+                    .with_header("X-Gsim-Cache", cache_status)
+                    .with_header("X-Gsim-Path", path)
+            }
             Err(e) => {
                 self.metrics.predict_errors.fetch_add(1, Ordering::Relaxed);
                 let resp = e.response();
@@ -620,6 +668,232 @@ impl PredictService {
         }
     }
 
+    /// Computes one prediction, dispatching between the staged
+    /// functional-first fast path and the full timing-simulation path.
+    ///
+    /// MRC-capable plans not forced onto the full path run the sampled
+    /// Stage-1 collection first (stage-cached, sharded across the pool)
+    /// and consult the compute-intensity gate: memory-bound workloads
+    /// are answered from replayed-MRC fits alone in milliseconds;
+    /// compute-sensitive ones escalate to [`Self::compute_full`], whose
+    /// body is byte-identical to a forced-full computation.
+    fn compute(
+        &self,
+        plan: &Plan,
+        key: u64,
+        deadline: Option<Instant>,
+        degrade: bool,
+    ) -> Result<(String, bool), ApiError> {
+        if let PlanKind::WithMrc(wl) = &plan.kind {
+            if plan.path != PathMode::Full {
+                let sem = plan.semantic.unwrap_or_else(|| wl.semantic_hash());
+                let collected = self.stage_collect(sem, plan, wl, deadline, degrade)?;
+                let gate_cfg = GpuConfig::paper_target(plan.large, plan.scale);
+                let pressure = collected.memory_pressure(&gate_cfg);
+                if plan.path == PathMode::Fast || pressure >= self.fast_path_gate {
+                    self.metrics.fast_path.fetch_add(1, Ordering::Relaxed);
+                    return Ok((self.fast_body(plan, sem, &collected, pressure)?, false));
+                }
+                // Compute matters: the roofline synthesis is not
+                // trustworthy, fall through to the real simulations.
+                self.metrics.escalated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.compute_full(plan, key, deadline, degrade)
+    }
+
+    /// Stage 1 of the staged path: the sampled sharded collection,
+    /// consulted from (and inserted into) the stage cache. Sharded
+    /// across the runner pool normally; computed serially on the
+    /// request's own thread when the pool is saturated (`serial`) — the
+    /// results are bit-identical either way, so the cache key does not
+    /// care.
+    fn stage_collect(
+        &self,
+        sem: u64,
+        plan: &Plan,
+        wl: &PlanWorkload,
+        deadline: Option<Instant>,
+        serial: bool,
+    ) -> Result<Collected, ApiError> {
+        let scfg = SampledCollectConfig::default();
+        let stage_key = (
+            sem,
+            format!(
+                "{STAGE_COLLECT_SAMPLED}:{}|{}",
+                scfg.cache_tag(),
+                collect_ladder_encoding(plan)
+            ),
+        );
+        if let Some(c) = self
+            .stages
+            .collects
+            .lock()
+            .expect("stage cache poisoned")
+            .get(&stage_key)
+            .cloned()
+        {
+            self.metrics
+                .stage_collect_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(c);
+        }
+        let overrides = match deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    self.metrics
+                        .deadline_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(deadline_error());
+                }
+                RunOverrides::deadline(left)
+            }
+            None => RunOverrides::default(),
+        };
+        let configs: Vec<GpuConfig> = collect_ladder(plan)
+            .iter()
+            .map(|&s| GpuConfig::paper_target(s, plan.scale))
+            .collect();
+        self.metrics
+            .collects_started
+            .fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let pool = (!serial).then_some((&self.runner, overrides));
+        let collected = collect_sampled(wl, &configs, &scfg, pool).map_err(|e| match e {
+            CollectFailure::TimedOut => {
+                self.metrics
+                    .deadline_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                deadline_error()
+            }
+            CollectFailure::Failed(msg) => ApiError {
+                status: 503,
+                message: format!("collection failed: {msg}; retry later"),
+            },
+        })?;
+        Metrics::observe_stage(&self.metrics.stage_collect, started.elapsed());
+        self.stages
+            .collects
+            .lock()
+            .expect("stage cache poisoned")
+            .entry(stage_key)
+            .or_insert_with(|| collected.clone());
+        Ok(collected)
+    }
+
+    /// Stages 2 and 3 of the fast path: fit the five predictors to
+    /// roofline observations synthesized from the sampled collection
+    /// (stage-cached), evaluate the targets, and render the fast body.
+    fn fast_body(
+        &self,
+        plan: &Plan,
+        sem: u64,
+        collected: &Collected,
+        pressure: f64,
+    ) -> Result<String, ApiError> {
+        let fit_key = (
+            sem,
+            format!(
+                "{STAGE_FIT}:fast:{}|{}",
+                SampledCollectConfig::default().cache_tag(),
+                collect_ladder_encoding(plan)
+            ),
+        );
+        let cached = self
+            .stages
+            .fits
+            .lock()
+            .expect("stage cache poisoned")
+            .get(&fit_key)
+            .cloned();
+        let fit = match cached {
+            Some(fit) => {
+                self.metrics.stage_fit_hits.fetch_add(1, Ordering::Relaxed);
+                fit
+            }
+            None => {
+                let started = Instant::now();
+                let small = synthesize_observation(
+                    collected,
+                    &GpuConfig::paper_target(plan.small, plan.scale),
+                );
+                let large = synthesize_observation(
+                    collected,
+                    &GpuConfig::paper_target(plan.large, plan.scale),
+                );
+                let mrc = collected.sized_mrc();
+                let fit = Fit::new(small, large, Some(&mrc))
+                    .map_err(|e| ApiError::bad(format!("prediction failed: {e}")))?;
+                Metrics::observe_stage(&self.metrics.stage_fit, started.elapsed());
+                self.stages
+                    .fits
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .entry(fit_key)
+                    .or_insert_with(|| fit.clone());
+                fit
+            }
+        };
+        let started = Instant::now();
+        let forecast = fit
+            .forecast(&plan.targets)
+            .map_err(|e| ApiError::bad(format!("prediction failed: {e}")))?;
+        Metrics::observe_stage(&self.metrics.stage_predict, started.elapsed());
+
+        let obs_json = |o: &Observation| {
+            obj([
+                ("size", Json::from(o.size)),
+                ("ipc", Json::from(o.ipc)),
+                ("f_mem", Json::from(o.f_mem)),
+            ])
+        };
+        let predictions: Vec<Json> = forecast
+            .targets
+            .iter()
+            .map(|t| {
+                obj([
+                    ("target", Json::from(t.target)),
+                    (
+                        "ipc_by_method",
+                        Json::Obj(
+                            t.by_method
+                                .iter()
+                                .map(|m| (m.method.to_string(), Json::from(m.predicted_ipc)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let body = obj([
+            ("schema", Json::from(PREDICT_FAST_SCHEMA)),
+            ("request", plan.normalized.clone()),
+            ("fast_path", Json::from(true)),
+            ("mrc_engine", Json::from("sampled")),
+            ("memory_pressure", Json::from(pressure)),
+            ("forced", Json::from(plan.path == PathMode::Fast)),
+            (
+                "scale_models",
+                Json::Arr(vec![obs_json(&fit.small()), obs_json(&fit.large())]),
+            ),
+            (
+                "mrc",
+                Json::Arr(
+                    collected
+                        .points
+                        .iter()
+                        .map(|&(s, m)| Json::Arr(vec![Json::from(s), Json::from(m)]))
+                        .collect(),
+                ),
+            ),
+            ("correction_factor", Json::from(forecast.correction_factor)),
+            ("cliff_at", Json::from(forecast.cliff_at)),
+            ("predictions", Json::Arr(predictions)),
+        ]);
+        Ok(body.render())
+    }
+
     /// Runs the scale-model simulations (and, for MRC plans, the
     /// functional replay) as jobs on the runner pool, then the one-shot
     /// predictor, and renders the response body.
@@ -636,7 +910,7 @@ impl PredictService {
     /// flag tells the caller which body it got (degraded bodies are
     /// never result-cached). The `deadline` bounds the runner jobs; a
     /// run cut short maps to 504.
-    fn compute(
+    fn compute_full(
         &self,
         plan: &Plan,
         key: u64,
@@ -677,14 +951,7 @@ impl PredictService {
                         encode_config(&cfg_of(plan.large))
                     ),
                 );
-                let mrc_key = (
-                    sem,
-                    plan.ladder
-                        .iter()
-                        .map(|&s| encode_config(&cfg_of(s)))
-                        .collect::<Vec<_>>()
-                        .join("|"),
-                );
+                let mrc_key = (sem, ladder_encoding(plan));
                 cached_obs = self
                     .stages
                     .observations
@@ -712,7 +979,7 @@ impl PredictService {
                                 .ladder
                                 .iter()
                                 .copied()
-                                .zip(wl.mrc_mpki(&configs))
+                                .zip(mrc_mpki(wl, &configs))
                                 .collect();
                             // Stage it: the eventual full predict (and
                             // any sibling degraded one) reuses it.
@@ -752,7 +1019,7 @@ impl PredictService {
                             sizes
                                 .iter()
                                 .copied()
-                                .zip(mrc_wl.mrc_mpki(&configs))
+                                .zip(mrc_mpki(&mrc_wl, &configs))
                                 .collect(),
                         )
                     }));
@@ -956,6 +1223,56 @@ fn degraded_body(plan: &Plan, pts: &[(u32, f64)]) -> String {
     .render()
 }
 
+/// The `X-Gsim-Path` value of a response body, derived from its leading
+/// schema tag — so cached and coalesced responses label their path
+/// without carrying side-channel state.
+fn path_of_body(body: &str) -> &'static str {
+    if body.starts_with("{\"schema\":\"gsim-serve-predict-fast-v1\"") {
+        "fast"
+    } else if body.starts_with("{\"schema\":\"gsim-serve-predict-degraded-v1\"") {
+        "degraded"
+    } else {
+        "full"
+    }
+}
+
+/// The exhaustive config encodings of a plan's whole doubling ladder,
+/// joined — the config part of every stage-cache key.
+fn ladder_encoding(plan: &Plan) -> String {
+    plan.ladder
+        .iter()
+        .map(|&s| encode_config(&GpuConfig::paper_target(s, plan.scale)))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// The doubling ladder the sampled collect stage covers: all of it,
+/// from the smaller scale model to [`MAX_TARGET_SMS`], regardless of
+/// the request's targets. The replay pass dominates the collection
+/// cost and the per-capacity readout is a histogram query, so one
+/// collection (and the fit built on it) serves every target set for
+/// the same content — a repeat request with different targets must
+/// never re-collect.
+fn collect_ladder(plan: &Plan) -> Vec<u32> {
+    let mut ladder = vec![plan.small];
+    let mut size = plan.small;
+    while size < MAX_TARGET_SMS {
+        size = size.saturating_mul(2);
+        ladder.push(size);
+    }
+    ladder
+}
+
+/// The config encodings of [`collect_ladder`] — the config part of the
+/// collect- and fit-stage cache keys, target-independent by design.
+fn collect_ladder_encoding(plan: &Plan) -> String {
+    collect_ladder(plan)
+        .iter()
+        .map(|&s| encode_config(&GpuConfig::paper_target(s, plan.scale)))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 /// The `GET /v1/workloads` catalog.
 fn workloads_json() -> Json {
     let scale = MemScale::default();
@@ -1132,6 +1449,21 @@ fn parse_request(body: &[u8], store: Option<&TraceStore>) -> Result<Plan, ApiErr
     };
     targets.sort_unstable();
     targets.dedup();
+
+    // Prediction path: gate automatically (default), or force one side.
+    let path = match fields.get("path") {
+        None => PathMode::Auto,
+        Some(v) => match v.as_str() {
+            Some("auto") => PathMode::Auto,
+            Some("fast") => PathMode::Fast,
+            Some("full") => PathMode::Full,
+            _ => {
+                return Err(ApiError::bad(
+                    "path must be \"auto\", \"fast\", or \"full\"",
+                ));
+            }
+        },
+    };
     for &t in &targets {
         if t <= large || t > MAX_TARGET_SMS {
             return Err(ApiError::bad(format!(
@@ -1262,6 +1594,15 @@ fn parse_request(body: &[u8], store: Option<&TraceStore>) -> Result<Plan, ApiErr
     };
     fields.finish()?;
 
+    // The fast path fits predictors to a miss-rate curve; a per-size
+    // (weak-scaling) plan has none, so forcing it is a contradiction.
+    if path == PathMode::Fast && matches!(kind, PlanKind::PerSize { .. }) {
+        return Err(ApiError::bad(
+            "path \"fast\" needs a miss-rate curve; weak-scaling plans \
+             must use \"auto\" or \"full\"",
+        ));
+    }
+
     // The normalized request: fixed field order, every default filled
     // in, so semantically identical requests render identically.
     let workload_key = match suite_name.as_str() {
@@ -1291,6 +1632,11 @@ fn parse_request(body: &[u8], store: Option<&TraceStore>) -> Result<Plan, ApiErr
         canonical.push('|');
         canonical.push_str(&encode_config(&GpuConfig::paper_target(s, scale)));
     }
+    // The requested path changes what is computed (fast vs full bodies),
+    // so it is part of the address — for every mode, including the
+    // default, so the mode set can grow without aliasing old entries.
+    canonical.push_str("|path=");
+    canonical.push_str(path.as_str());
 
     Ok(Plan {
         canonical,
@@ -1302,6 +1648,7 @@ fn parse_request(body: &[u8], store: Option<&TraceStore>) -> Result<Plan, ApiErr
         scale,
         ladder,
         semantic,
+        path,
     })
 }
 
@@ -1520,6 +1867,7 @@ fn encode_config(c: &GpuConfig) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsim_trace::semantic_hash_of;
 
     fn plan(body: &str) -> Result<Plan, ApiError> {
         parse_request(body.as_bytes(), None)
@@ -1672,6 +2020,50 @@ mod tests {
         .unwrap_err();
         assert_eq!(miss.status, 404);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn path_field_addresses_but_does_not_echo() {
+        let auto = plan(r#"{"workload": "bfs", "target_sms": 128}"#).unwrap();
+        assert_eq!(auto.path, PathMode::Auto);
+        assert!(auto.canonical.ends_with("|path=auto"), "{}", auto.canonical);
+        let full = plan(r#"{"workload": "bfs", "target_sms": 128, "path": "full"}"#).unwrap();
+        assert_eq!(full.path, PathMode::Full);
+        // Different address (what is computed differs)…
+        assert_ne!(auto.canonical, full.canonical);
+        // …but identical echo: an escalated auto body must be
+        // byte-identical to a forced-full one.
+        assert_eq!(auto.normalized.render(), full.normalized.render());
+        assert!(!auto.normalized.render().contains("path"));
+
+        assert!(
+            plan(r#"{"workload": "bfs", "target_sms": 128, "path": "warp"}"#)
+                .unwrap_err()
+                .message
+                .contains("path must be"),
+        );
+        let weak = weak_suite(MemScale::default())[0].abbr;
+        let err = plan(&format!(
+            r#"{{"workload": "{weak}", "suite": "weak", "target_sms": 128, "path": "fast"}}"#
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("miss-rate curve"), "{}", err.message);
+    }
+
+    #[test]
+    fn body_paths_derive_from_schema_tags() {
+        assert_eq!(
+            path_of_body("{\"schema\":\"gsim-serve-predict-v1\",…"),
+            "full"
+        );
+        assert_eq!(
+            path_of_body("{\"schema\":\"gsim-serve-predict-fast-v1\",…"),
+            "fast"
+        );
+        assert_eq!(
+            path_of_body("{\"schema\":\"gsim-serve-predict-degraded-v1\",…"),
+            "degraded"
+        );
     }
 
     #[test]

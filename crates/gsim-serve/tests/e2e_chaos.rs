@@ -79,7 +79,9 @@ fn injected_job_panics_surface_as_503_with_retry_after() {
             .expect("serve loop")
     });
 
-    let body = r#"{"pattern": {"kind": "streaming", "footprint_mb": 1.0}, "target_sms": 64}"#;
+    // Pinned to the full path: the fault site is the timing-simulation
+    // job, which an auto (fast-path) predict would never schedule.
+    let body = r#"{"pattern": {"kind": "streaming", "footprint_mb": 1.0}, "target_sms": 64, "path": "full"}"#;
     let (status, headers, resp) = request(addr, "POST", "/v1/predict", body);
     assert_eq!(
         status,

@@ -1,0 +1,347 @@
+//! End-to-end tests of the staged functional-first fast path over real
+//! HTTP sockets: memory-bound `auto` predicts answer from replayed-MRC
+//! fits without scheduling a single timing simulation, repeat requests
+//! for the same content reuse the per-stage caches (zero redundant
+//! collections), compute-sensitive workloads escalate to a body that is
+//! byte-identical to a forced-full computation, and every response
+//! names the path it took in `X-Gsim-Path`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gsim_serve::{PredictService, ServeConfig, Server, ServerConfig, ShutdownFlag};
+
+struct RunningServer {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    join: JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn start(cfg: ServeConfig) -> Self {
+        let shutdown = ShutdownFlag::new();
+        let service = PredictService::new(cfg, shutdown.clone()).expect("service starts");
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), shutdown.clone())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let join = std::thread::spawn(move || {
+            server
+                .serve(Arc::new(move |req| service.handle(req)))
+                .expect("serve loop")
+        });
+        Self {
+            addr,
+            shutdown,
+            join,
+        }
+    }
+
+    fn stop(self) {
+        self.shutdown.trigger();
+        self.join.join().expect("server thread");
+    }
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(raw.as_bytes()).expect("send");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read response");
+    let header_end = out
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&out[..header_end]).expect("utf8 head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, out[header_end + 4..].to_vec())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn metrics(addr: SocketAddr) -> gsim_json::Json {
+    let (status, _, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    gsim_json::parse(std::str::from_utf8(&body).expect("utf8 metrics")).expect("metrics json")
+}
+
+fn metric_at(doc: &gsim_json::Json, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("missing metric {} in {}", path.join("."), doc.render()));
+    }
+    node.as_u64().unwrap_or_else(|| {
+        panic!(
+            "metric {} is not a counter: {}",
+            path.join("."),
+            doc.render()
+        )
+    })
+}
+
+#[test]
+fn memory_bound_auto_predicts_answer_from_the_fast_path_without_timing_sims() {
+    let server = RunningServer::start(ServeConfig::default());
+    let addr = server.addr;
+
+    // bfs is memory-bound (measured pressure well above the default
+    // gate of 1.0), so the default `auto` path answers functionally.
+    let body = r#"{"workload": "bfs", "targets": [32, 64]}"#;
+    let (status, headers, first) = request(addr, "POST", "/v1/predict", body);
+    assert_eq!(
+        status,
+        200,
+        "fast predict failed: {}",
+        String::from_utf8_lossy(&first)
+    );
+    assert_eq!(header(&headers, "x-gsim-cache"), Some("miss"));
+    assert_eq!(header(&headers, "x-gsim-path"), Some("fast"));
+    let text = std::str::from_utf8(&first).expect("utf8 body");
+    assert!(
+        text.contains("\"schema\":\"gsim-serve-predict-fast-v1\""),
+        "{text}"
+    );
+    assert!(text.contains("\"fast_path\":true"), "{text}");
+    assert!(text.contains("\"forced\":false"), "{text}");
+    assert!(text.contains("\"predictions\""), "{text}");
+
+    let m = metrics(addr);
+    assert_eq!(
+        metric_at(&m, &["predict", "fast_path"]),
+        1,
+        "{}",
+        m.render()
+    );
+    assert_eq!(
+        metric_at(&m, &["predict", "escalated"]),
+        0,
+        "{}",
+        m.render()
+    );
+    assert_eq!(
+        metric_at(&m, &["timing_sims_started"]),
+        0,
+        "the fast path must not schedule timing simulations: {}",
+        m.render()
+    );
+    assert_eq!(metric_at(&m, &["collects_started"]), 1, "{}", m.render());
+
+    // A byte-identical repeat is a result-cache hit that still reports
+    // the path its cached body took.
+    let (status, headers, again) = request(addr, "POST", "/v1/predict", body);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-gsim-cache"), Some("hit"));
+    assert_eq!(header(&headers, "x-gsim-path"), Some("fast"));
+    assert_eq!(first, again, "cached fast bodies replay byte-identically");
+
+    // Same content, different targets: Stage 1 and Stage 2 replay from
+    // the stage caches — no new collection, still zero timing sims.
+    let other = r#"{"workload": "bfs", "targets": [128]}"#;
+    let (status, headers, _) = request(addr, "POST", "/v1/predict", other);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-gsim-cache"), Some("miss"));
+    assert_eq!(header(&headers, "x-gsim-path"), Some("fast"));
+    let m = metrics(addr);
+    assert_eq!(
+        metric_at(&m, &["collects_started"]),
+        1,
+        "a stage-cache hit must not re-collect: {}",
+        m.render()
+    );
+    assert!(
+        metric_at(&m, &["predict", "stage_collect_hits"]) >= 1,
+        "{}",
+        m.render()
+    );
+    assert!(
+        metric_at(&m, &["predict", "stage_fit_hits"]) >= 1,
+        "{}",
+        m.render()
+    );
+    assert_eq!(metric_at(&m, &["timing_sims_started"]), 0, "{}", m.render());
+
+    // Stage latencies were observed for the cold request.
+    assert!(
+        metric_at(&m, &["stage_collect_us", "count"]) >= 1,
+        "{}",
+        m.render()
+    );
+    assert!(
+        metric_at(&m, &["stage_fit_us", "count"]) >= 1,
+        "{}",
+        m.render()
+    );
+    assert!(
+        metric_at(&m, &["stage_predict_us", "count"]) >= 2,
+        "{}",
+        m.render()
+    );
+    server.stop();
+}
+
+#[test]
+fn forced_fast_reuses_the_fit_staged_by_an_auto_predict() {
+    let server = RunningServer::start(ServeConfig::default());
+    let addr = server.addr;
+
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload": "dct", "targets": [32]}"#,
+    );
+    assert_eq!(status, 200);
+    let before = metrics(addr);
+    let fit_hits = metric_at(&before, &["predict", "stage_fit_hits"]);
+
+    // Forcing the fast path on the same content addresses a different
+    // result-cache entry (the body records `forced`), but Stages 1 and
+    // 2 are shared: the fit staged by the auto predict is reused as-is.
+    let (status, headers, body) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload": "dct", "targets": [32], "path": "fast"}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-gsim-cache"), Some("miss"));
+    assert_eq!(header(&headers, "x-gsim-path"), Some("fast"));
+    let text = std::str::from_utf8(&body).expect("utf8 body");
+    assert!(text.contains("\"forced\":true"), "{text}");
+
+    let m = metrics(addr);
+    assert_eq!(metric_at(&m, &["collects_started"]), 1, "{}", m.render());
+    assert!(
+        metric_at(&m, &["predict", "stage_fit_hits"]) > fit_hits,
+        "the forced-fast predict must reuse the staged fit: {}",
+        m.render()
+    );
+    assert_eq!(metric_at(&m, &["timing_sims_started"]), 0, "{}", m.render());
+    server.stop();
+}
+
+#[test]
+fn compute_bound_auto_escalates_to_bytes_identical_to_forced_full() {
+    let server = RunningServer::start(ServeConfig::default());
+    let addr = server.addr;
+
+    // gemm's measured pressure sits below the gate: the collection runs
+    // for the gate's sake, then the predict escalates to real sims.
+    let (status, headers, escalated) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload": "gemm", "targets": [32, 64]}"#,
+    );
+    assert_eq!(
+        status,
+        200,
+        "escalated predict failed: {}",
+        String::from_utf8_lossy(&escalated)
+    );
+    assert_eq!(header(&headers, "x-gsim-path"), Some("full"));
+    let text = std::str::from_utf8(&escalated).expect("utf8 body");
+    assert!(
+        text.contains("\"schema\":\"gsim-serve-predict-v1\""),
+        "{text}"
+    );
+    assert!(!text.contains("\"fast_path\""), "{text}");
+
+    let m = metrics(addr);
+    assert_eq!(
+        metric_at(&m, &["predict", "escalated"]),
+        1,
+        "{}",
+        m.render()
+    );
+    assert_eq!(
+        metric_at(&m, &["predict", "fast_path"]),
+        0,
+        "{}",
+        m.render()
+    );
+    assert_eq!(
+        metric_at(&m, &["timing_sims_started"]),
+        2,
+        "escalation runs the 8- and 16-SM sims: {}",
+        m.render()
+    );
+
+    // The same content forced onto the full path addresses a different
+    // result-cache entry, so this is a fresh computation — and its body
+    // must be byte-identical to what the escalation produced.
+    let (status, headers, forced) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload": "gemm", "targets": [32, 64], "path": "full"}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-gsim-cache"), Some("miss"));
+    assert_eq!(header(&headers, "x-gsim-path"), Some("full"));
+    assert_eq!(
+        escalated, forced,
+        "escalated and forced-full bodies must match byte for byte"
+    );
+    server.stop();
+}
+
+#[test]
+fn an_infinite_gate_escalates_even_memory_bound_workloads() {
+    let server = RunningServer::start(ServeConfig {
+        fast_path_gate: f64::INFINITY,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+
+    let (status, headers, _) = request(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload": "bfs", "targets": [32]}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "x-gsim-path"),
+        Some("full"),
+        "an infinite gate must force every auto predict onto the full path"
+    );
+    let m = metrics(addr);
+    assert_eq!(
+        metric_at(&m, &["predict", "escalated"]),
+        1,
+        "{}",
+        m.render()
+    );
+    assert_eq!(metric_at(&m, &["timing_sims_started"]), 2, "{}", m.render());
+    server.stop();
+}

@@ -17,9 +17,10 @@ use std::time::{Duration, Instant};
 use gsim_serve::{PredictService, ServeConfig, Server, ServerConfig, ShutdownFlag};
 
 /// Heavy enough to hold its admission slot while the test probes the
-/// gate, light enough to finish in a few seconds.
-const SLOW_BODY: &str =
-    r#"{"pattern": {"kind": "global_sweep", "footprint_mb": 8.0, "passes": 4}, "target_sms": 64}"#;
+/// gate, light enough to finish in a few seconds. Pinned to the full
+/// path: these tests are about timing-simulation saturation, which the
+/// functional-first fast path would sidestep.
+const SLOW_BODY: &str = r#"{"pattern": {"kind": "global_sweep", "footprint_mb": 8.0, "passes": 4}, "target_sms": 64, "path": "full"}"#;
 
 struct RunningServer {
     addr: SocketAddr,
@@ -257,8 +258,10 @@ fn saturated_pool_degrades_to_mrc_only_and_never_caches_it() {
             >= 1
     });
 
-    // An MRC-capable predict sent into the saturated pool degrades.
-    let body = r#"{"pattern": {"kind": "streaming", "footprint_mb": 2.0}, "target_sms": 64}"#;
+    // An MRC-capable full-path predict sent into the saturated pool
+    // degrades. (An `auto` request would sidestep saturation entirely
+    // via the fast path — see e2e_fastpath.rs.)
+    let body = r#"{"pattern": {"kind": "streaming", "footprint_mb": 2.0}, "target_sms": 64, "path": "full"}"#;
     let (status, _, resp) = request(addr, "POST", "/v1/predict", body);
     assert_eq!(status, 200);
     let text = std::str::from_utf8(&resp).expect("utf8 body");

@@ -130,10 +130,13 @@ fn fresh_cache_dir(tag: &str) -> PathBuf {
 /// therefore its semantic hash) depend on the seed, letting the tests
 /// build distinct trace contents on demand.
 fn pattern_request(seed: u64) -> String {
+    // Pinned to the full path: this file's assertions are about the
+    // timing-simulation stage cache, which the functional-first fast
+    // path would bypass entirely.
     format!(
         r#"{{"pattern": {{"kind": "working_set_mix", "footprint_mb": 4.0,
             "levels": [[1.0, 0.5]], "ctas": 128, "seed": {seed}}},
-            "targets": [32, 64]}}"#
+            "targets": [32, 64], "path": "full"}}"#
     )
 }
 
@@ -230,7 +233,8 @@ fn trace_predict_matches_synthetic_bit_for_bit_without_new_sims() {
 
     // --- Predict from the trace: prediction is byte-identical and no
     // new timing simulation runs (both stages hit the semantic cache).
-    let trace_body = format!(r#"{{"trace_ref": "{trace_ref}", "targets": [32, 64]}}"#);
+    let trace_body =
+        format!(r#"{{"trace_ref": "{trace_ref}", "targets": [32, 64], "path": "full"}}"#);
     let (status, body) = request(addr, "POST", "/v1/predict", &trace_body);
     assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
     let traced = json_of(&body);
@@ -268,7 +272,7 @@ fn trace_predict_matches_synthetic_bit_for_bit_without_new_sims() {
         addr,
         "POST",
         "/v1/predict",
-        &format!(r#"{{"trace_ref": "{cold_ref}", "targets": [32, 64]}}"#),
+        &format!(r#"{{"trace_ref": "{cold_ref}", "targets": [32, 64], "path": "full"}}"#),
     );
     assert_eq!(status, 200);
     let m = metrics(addr);

@@ -25,6 +25,8 @@ pub struct FunctionalReplay {
     n_sms: u32,
     replay: CapacityReplay,
     thread_instrs: u64,
+    mem_thread_instrs: u64,
+    line_accesses: u64,
     llc_accesses: u64,
 }
 
@@ -38,6 +40,8 @@ impl FunctionalReplay {
             n_sms: cfg.n_sms,
             replay: CapacityReplay::new(capacities, cfg.llc_ways, cfg.line_bytes),
             thread_instrs: 0,
+            mem_thread_instrs: 0,
+            line_accesses: 0,
             llc_accesses: 0,
         }
     }
@@ -110,7 +114,9 @@ impl FunctionalReplay {
 
     fn process(&mut self, l1: &mut Cache, op: &Op) {
         let Some(access) = op.mem() else { return };
+        self.mem_thread_instrs += op.warp_instrs() * u64::from(THREADS_PER_WARP);
         for line in access.lines() {
+            self.line_accesses += 1;
             match (op, access.space) {
                 (Op::Load(_), MemSpace::Global) => {
                     if l1.access(line, false).is_miss() {
@@ -135,6 +141,18 @@ impl FunctionalReplay {
     /// Thread instructions replayed.
     pub fn thread_instrs(&self) -> u64 {
         self.thread_instrs
+    }
+
+    /// Memory thread instructions replayed (loads/stores/atomics).
+    pub fn mem_thread_instrs(&self) -> u64 {
+        self.mem_thread_instrs
+    }
+
+    /// Pre-L1 line accesses replayed (every line of every memory
+    /// operation, before L1 filtering) — the raw traffic a compute-
+    /// intensity gate wants.
+    pub fn line_accesses(&self) -> u64 {
+        self.line_accesses
     }
 
     /// Post-L1 LLC accesses replayed.

@@ -45,8 +45,10 @@ done
 ADDR=$(grep -oE '[0-9.]+:[0-9]+' "$WORK/serve.log" | head -1)
 echo "server at $ADDR"
 
+# Pinned to the full path: this smoke is about the timing-simulation
+# stage cache, which the functional-first fast path would bypass.
 curl -sf -X POST "http://$ADDR/v1/predict" \
-    -d '{"workload": "gemm", "targets": [32, 64]}' -o "$WORK/synthetic.json"
+    -d '{"workload": "gemm", "targets": [32, 64], "path": "full"}' -o "$WORK/synthetic.json"
 SIMS=$(curl -sf "http://$ADDR/metrics" |
     python3 -c 'import json,sys; print(json.load(sys.stdin)["timing_sims_started"])')
 echo "timing sims after synthetic predict: $SIMS"
@@ -62,7 +64,7 @@ print("uploaded:", doc["ref"])
 EOF
 
 curl -sf -X POST "http://$ADDR/v1/predict" \
-    -d "{\"trace_ref\": \"$REF\", \"targets\": [32, 64]}" -o "$WORK/traced.json"
+    -d "{\"trace_ref\": \"$REF\", \"targets\": [32, 64], \"path\": \"full\"}" -o "$WORK/traced.json"
 curl -sf "http://$ADDR/metrics" -o "$WORK/metrics.json"
 python3 - "$WORK/synthetic.json" "$WORK/traced.json" "$WORK/metrics.json" "$SIMS" <<'EOF'
 import json, sys
