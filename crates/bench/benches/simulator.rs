@@ -5,13 +5,16 @@
 //! under both strong scaling (same workload everywhere — little saving,
 //! footnote 1 of the paper) and weak scaling (input grows with the target
 //! — the Figure 7 speedups come from exactly this gap), plus a 64-SM
-//! memory-bound workload at `sim_threads` 1 and 8 (the sharded engine's
-//! headline case; results are bit-identical, only wall time moves).
+//! memory-bound workload as a strong-scaling family over `sim_threads`
+//! 1/2/4/8 (the sharded engine's headline case; results are
+//! bit-identical, only wall time moves) and one relaxed-sync run at a
+//! 16-cycle slack window.
 //!
 //! Results also land in `BENCH_simulator.json` at the repo root; set
 //! `GSIM_BENCH_FAST=1` for a smoke-test-sized run (CI).
 
 use std::cell::Cell;
+use std::time::Duration;
 
 use gsim_bench::tinybench::{fast_mode, Group, JsonReport};
 use gsim_sim::{GpuConfig, Simulator};
@@ -40,7 +43,9 @@ fn sm_sizes() -> &'static [u32] {
 }
 
 /// Times one simulator configuration and records it in the JSON report
-/// with its deterministic cycle count (for the cycles/sec rate).
+/// with its deterministic cycle count (for the cycles/sec rate). Pass
+/// the family's `t1` median to get a `speedup_vs_t1` in the record;
+/// returns this run's median so the caller can seed that baseline.
 fn bench_sim(
     g: &Group,
     rep: &mut JsonReport,
@@ -48,15 +53,26 @@ fn bench_sim(
     name: &str,
     cfg: &GpuConfig,
     wl: &Workload,
-) {
+    t1_median: Option<Duration>,
+) -> Option<Duration> {
     let cycles = Cell::new(0u64);
-    if let Some(median) = g.bench(name, || {
+    let median = g.bench(name, || {
         let st = Simulator::new(cfg.clone(), wl).run();
         cycles.set(st.cycles);
         st
-    }) {
-        rep.record(id, median, cfg.sim_threads.max(1), Some(cycles.get()));
-    }
+    })?;
+    let speedup = t1_median
+        .filter(|_| !median.is_zero())
+        .map(|t1| t1.as_secs_f64() / median.as_secs_f64());
+    rep.record_scaled(
+        id,
+        median,
+        cfg.sim_threads.max(1),
+        cfg.sync_slack,
+        Some(cycles.get()),
+        speedup,
+    );
+    Some(median)
 }
 
 fn strong_scaling_cost(rep: &mut JsonReport) {
@@ -65,7 +81,7 @@ fn strong_scaling_cost(rep: &mut JsonReport) {
     for &sms in sm_sizes() {
         let cfg = GpuConfig::paper_target(sms, scale());
         let id = format!("simulate_strong_pf/{sms}");
-        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &bench.workload);
+        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &bench.workload, None);
     }
 }
 
@@ -76,13 +92,15 @@ fn weak_scaling_cost(rep: &mut JsonReport) {
         let wl = bench.workload_for_sms(sms);
         let cfg = GpuConfig::paper_target(sms, scale());
         let id = format!("simulate_weak_va/{sms}");
-        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &wl);
+        bench_sim(&g, rep, &id, &sms.to_string(), &cfg, &wl, None);
     }
 }
 
 /// The sharded-engine case: a 64-SM target on an LLC-overflowing global
 /// sweep (memory-bound, so cycles are plentiful and phase A dominates),
-/// serial vs 8 intra-simulation threads.
+/// as a strong-scaling family over 1/2/4/8 intra-simulation threads
+/// (each record past `t1` carries its `speedup_vs_t1`), plus one
+/// relaxed-sync run showing what a 16-cycle slack window buys.
 fn parallel_64sm_membound(rep: &mut JsonReport) {
     let sc = scale();
     let passes = if fast_mode() { 1 } else { 3 };
@@ -97,12 +115,29 @@ fn parallel_64sm_membound(rep: &mut JsonReport) {
         vec![Kernel::new("sweep", 2048, 256, spec)],
     );
     let g = Group::new("parallel_64sm_membound").samples(samples());
-    for threads in [1u32, 8] {
+    let mut t1 = None;
+    for threads in [1u32, 2, 4, 8] {
         let mut cfg = GpuConfig::paper_target(64, sc);
         cfg.sim_threads = threads;
         let id = format!("parallel_64sm_membound/t{threads}");
-        bench_sim(&g, rep, &id, &format!("t{threads}"), &cfg, &wl);
+        let baseline = if threads == 1 { None } else { t1 };
+        let median = bench_sim(&g, rep, &id, &format!("t{threads}"), &cfg, &wl, baseline);
+        if threads == 1 {
+            t1 = median;
+        }
     }
+    let mut cfg = GpuConfig::paper_target(64, sc);
+    cfg.sim_threads = 8;
+    cfg.sync_slack = 16;
+    bench_sim(
+        &g,
+        rep,
+        "parallel_64sm_membound/t8_slack16",
+        "t8_slack16",
+        &cfg,
+        &wl,
+        t1,
+    );
 }
 
 fn main() {

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! gsim list
-//! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak] [--sim-threads N]
-//! gsim sweep <benchmark> [--scale D] [--threads N] [--weak] [--sim-threads N]
-//! gsim mcm <benchmark> [--chiplets C] [--scale D] [--sim-threads N]
+//! gsim run <benchmark> [--sms N] [--scale D] [--banked-dram BANKS] [--weak]
+//!          [--sim-threads N] [--sync-slack S] [--assert-determinism]
+//! gsim sweep <benchmark> [--scale D] [--threads N] [--weak] [--sim-threads N] [--sync-slack S]
+//! gsim mcm <benchmark> [--chiplets C] [--scale D] [--sim-threads N] [--sync-slack S]
+//!          [--assert-determinism]
 //! gsim mrc <benchmark> [--scale D]
 //! gsim trace record <benchmark> [-o FILE] [--scale D] [--format 1|2] [--weak --sms N]
 //! gsim trace ingest <file> [--store DIR] [--max-trace-mb N]
@@ -48,10 +50,19 @@
 //! same flag tunes the service's gate, `inf` escalates every `auto`
 //! request).
 //!
-//! `--sim-threads N` shards each simulation's per-SM phase over N threads
-//! (`--threads` parallelises *across* sweep jobs instead; under `serve`
-//! it sizes the HTTP worker pool). Results are bit-identical for any
-//! N ≥ 1.
+//! `--sim-threads N` shards each simulation's per-SM phase *and* its
+//! owner-sharded memory partitions over N threads (`--threads`
+//! parallelises *across* sweep jobs instead; under `serve` it sizes the
+//! HTTP worker pool). Results are bit-identical for any N ≥ 1.
+//! `--sync-slack S` opts into bounded-slack relaxed synchronisation: SMs
+//! run up to S cycles past the memory merge barrier (DESIGN.md §15).
+//! S = 0 (the default) is bit-exact; S > 0 is still deterministic for a
+//! given S but drifts within a small envelope, so it cannot be combined
+//! with `--assert-determinism`, which re-runs the simulation serially and
+//! asserts the sharded run is bit-identical (exit 2 on the combination,
+//! non-zero if the assertion trips). The run summary prints the effective
+//! phase-B mode: owner-sharded, or the serial fallback when
+//! `--sim-threads 1`.
 //!
 //! `serve`'s overload knobs (DESIGN.md §13): `--default-deadline-ms`
 //! bounds every predict unless the request's `X-Gsim-Deadline-Ms` header
@@ -80,9 +91,11 @@ use gsim_tracestore::{StoreConfig, StoreError, TraceStore};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gsim list\n  gsim run <benchmark> [--sms N] [--scale D] \
-         [--banked-dram BANKS] [--weak] [--sim-threads N]\n  gsim sweep <benchmark> [--scale D] \
-         [--threads N] [--weak] [--sim-threads N]\n  gsim mcm <benchmark> [--chiplets C] \
-         [--scale D] [--sim-threads N]\n  \
+         [--banked-dram BANKS] [--weak] [--sim-threads N] [--sync-slack S] \
+         [--assert-determinism]\n  gsim sweep <benchmark> [--scale D] \
+         [--threads N] [--weak] [--sim-threads N] [--sync-slack S]\n  \
+         gsim mcm <benchmark> [--chiplets C] \
+         [--scale D] [--sim-threads N] [--sync-slack S] [--assert-determinism]\n  \
          gsim mrc <benchmark> [--scale D]\n  \
          gsim trace record <benchmark> [-o FILE] [--scale D] [--format 1|2] [--weak --sms N]\n  \
          gsim trace ingest <file> [--store DIR] [--max-trace-mb N]\n  \
@@ -108,6 +121,8 @@ struct Flags {
     threads: Option<usize>,
     runner_threads: usize,
     sim_threads: u32,
+    sync_slack: u32,
+    assert_determinism: bool,
     weak: bool,
     addr: String,
     cache_dir: Option<String>,
@@ -136,6 +151,8 @@ fn parse(args: &[String]) -> Flags {
         threads: None,
         runner_threads: 0,
         sim_threads: 1,
+        sync_slack: 0,
+        assert_determinism: false,
         weak: false,
         addr: "127.0.0.1:8191".to_string(),
         cache_dir: None,
@@ -176,6 +193,9 @@ fn parse(args: &[String]) -> Flags {
                     exit(2)
                 }
             }
+            // `num` already exits 2 on negatives and garbage (u32 parse).
+            "--sync-slack" => f.sync_slack = num("--sync-slack"),
+            "--assert-determinism" => f.assert_determinism = true,
             "--weak" => f.weak = true,
             "--addr" => match it.next() {
                 Some(a) => f.addr = a.clone(),
@@ -254,7 +274,54 @@ fn parse(args: &[String]) -> Flags {
             other => f.positional.push(other.to_string()),
         }
     }
+    if f.assert_determinism && f.sync_slack > 0 {
+        eprintln!(
+            "--assert-determinism requires bit-exact mode; drop --sync-slack {} (relaxed \
+             sync is deterministic per slack value but not bit-identical to the exact run)",
+            f.sync_slack
+        );
+        exit(2)
+    }
     f
+}
+
+/// The effective phase-B execution mode of `cfg`, for the run summary.
+fn phase_b_mode(cfg: &GpuConfig) -> String {
+    let partitions = cfg.mem_shards.max(1).min(cfg.llc_slices).min(cfg.n_mcs);
+    let mut mode = if cfg.sim_threads > 1 {
+        format!(
+            "owner-sharded ({partitions} partition{}, {} threads)",
+            if partitions == 1 { "" } else { "s" },
+            cfg.sim_threads
+        )
+    } else {
+        format!(
+            "serial fallback ({partitions} partition{})",
+            if partitions == 1 { "" } else { "s" }
+        )
+    };
+    if cfg.sync_slack > 0 {
+        mode.push_str(&format!(", slack {} cycles", cfg.sync_slack));
+    }
+    mode
+}
+
+/// Re-runs `wl` on the serial driver and asserts the sharded run's stats
+/// are bit-identical (the `--assert-determinism` test flag; panics — and
+/// thus exits non-zero — on divergence).
+fn check_determinism<W: WorkloadModel>(cfg: &GpuConfig, wl: &W, sharded: &SimStats)
+where
+    W::Stream: Send,
+{
+    let mut serial = cfg.clone();
+    serial.sim_threads = 1;
+    let base = Simulator::new(serial, wl).run();
+    base.assert_deterministic_eq(sharded);
+    println!(
+        "determinism: t{} bit-identical to t1 ({} cycles)",
+        cfg.sim_threads.max(1),
+        sharded.cycles
+    );
 }
 
 fn print_stats(label: &str, st: &SimStats) {
@@ -518,8 +585,13 @@ fn main() {
             let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
             cfg.dram_banks_per_mc = f.banked_dram;
             cfg.sim_threads = f.sim_threads;
-            let st = Simulator::new(cfg, &wl).run();
+            cfg.sync_slack = f.sync_slack;
+            let st = Simulator::new(cfg.clone(), &wl).run();
             print_stats(&format!("{name} on {} SMs ({})", f.sms, f.scale), &st);
+            println!("  phase B           {}", phase_b_mode(&cfg));
+            if f.assert_determinism {
+                check_determinism(&cfg, &wl, &st);
+            }
         }
         "sweep" => {
             let name = f.positional.first().unwrap_or_else(|| usage());
@@ -539,6 +611,7 @@ fn main() {
             };
             let scale = f.scale;
             let sim_threads = f.sim_threads;
+            let sync_slack = f.sync_slack;
             let sizes = [8u32, 16, 32, 64, 128];
             let runner = Runner::new(RunnerConfig {
                 threads: f.threads.unwrap_or(0),
@@ -554,6 +627,7 @@ fn main() {
                 move |&sms: &u32| {
                     let mut cfg = GpuConfig::paper_target(sms, scale);
                     cfg.sim_threads = sim_threads;
+                    cfg.sync_slack = sync_slack;
                     Simulator::new(cfg, &workload_for(sms)).run()
                 },
             );
@@ -604,6 +678,7 @@ fn main() {
             let wl = bench.workload_for_chiplets(f.chiplets);
             let mut mcm = ChipletConfig::paper_mcm(f.chiplets, f.scale);
             mcm.chiplet.sim_threads = f.sim_threads;
+            mcm.chiplet.sync_slack = f.sync_slack;
             let st = Simulator::new_mcm(&mcm, &wl).run();
             print_stats(
                 &format!(
@@ -614,6 +689,18 @@ fn main() {
                 ),
                 &st,
             );
+            println!("  phase B           {}", phase_b_mode(&mcm.chiplet));
+            if f.assert_determinism {
+                let mut serial = mcm.clone();
+                serial.chiplet.sim_threads = 1;
+                let base = Simulator::new_mcm(&serial, &wl).run();
+                base.assert_deterministic_eq(&st);
+                println!(
+                    "determinism: t{} bit-identical to t1 ({} cycles)",
+                    f.sim_threads.max(1),
+                    st.cycles
+                );
+            }
         }
         "mrc" => {
             let name = f.positional.first().unwrap_or_else(|| usage());
@@ -680,11 +767,16 @@ fn main() {
             let mut cfg = GpuConfig::paper_target(f.sms, f.scale);
             cfg.dram_banks_per_mc = f.banked_dram;
             cfg.sim_threads = f.sim_threads;
-            let st = Simulator::new(cfg, &traced).run();
+            cfg.sync_slack = f.sync_slack;
+            let st = Simulator::new(cfg.clone(), &traced).run();
             print_stats(
                 &format!("trace {} on {} SMs ({})", traced.name(), f.sms, f.scale),
                 &st,
             );
+            println!("  phase B           {}", phase_b_mode(&cfg));
+            if f.assert_determinism {
+                check_determinism(&cfg, &traced, &st);
+            }
         }
         "predict" => {
             use std::time::Instant;

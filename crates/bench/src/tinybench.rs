@@ -144,15 +144,26 @@ pub fn fast_mode() -> bool {
 pub struct Record {
     /// The `group/name` benchmark id.
     pub name: String,
-    /// Median wall time of one iteration, in nanoseconds.
-    pub median_ns: u128,
+    /// Median wall time of one iteration, in nanoseconds. `None` when
+    /// the run was oversubscribed: such timings measure scheduler
+    /// contention, not the simulator, and committing them would invite
+    /// meaningless diffs — the record keeps its identity fields but
+    /// refuses to carry a number.
+    pub median_ns: Option<u128>,
     /// Intra-simulation threads the measured run used (1 = serial).
     pub sim_threads: u32,
+    /// Relaxed-sync slack window the run used, in cycles (0 = the
+    /// bit-exact default; see `--sync-slack`).
+    pub sync_slack: u32,
     /// Whether the run asked for more simulation threads than the host
     /// has logical CPUs — such timings measure scheduler contention,
     /// not the simulator, and diffs against them are not meaningful.
     /// `false` when the host size is unknown (`host_logical_cpus` 0).
     pub oversubscribed: bool,
+    /// Wall-time speedup relative to this record's family `t1` run
+    /// (`median_t1 / median_tN`); `None` for records outside a
+    /// strong-scaling family or when either side is oversubscribed.
+    pub speedup_vs_t1: Option<f64>,
     /// Simulated cycles per wall-clock second, for simulator benches
     /// (`None` for benches that do not run the timing simulator).
     pub cycles_per_second: Option<f64>,
@@ -167,11 +178,17 @@ pub struct Record {
 ///   "fast_mode": false,
 ///   "host_logical_cpus": 8,
 ///   "records": [
-///     {"name": "g/b", "median_ns": 12, "sim_threads": 1,
-///      "oversubscribed": false, "cycles_per_second": 3.1e6}
+///     {"name": "g/t2", "median_ns": 12, "sim_threads": 2,
+///      "sync_slack": 0, "oversubscribed": false,
+///      "speedup_vs_t1": 1.8, "cycles_per_second": 3.1e6}
 ///   ]
 /// }
 /// ```
+///
+/// Oversubscribed records (thread ask beyond the host's CPUs) keep
+/// their identity fields but emit `median_ns`, `speedup_vs_t1` and
+/// `cycles_per_second` as `null`: a contended timing committed as a
+/// number would silently poison every later diff.
 ///
 /// `host_logical_cpus` records the machine the numbers came from —
 /// timings from hosts with different logical-CPU counts are not
@@ -203,14 +220,36 @@ impl JsonReport {
         sim_threads: u32,
         cycles: Option<u64>,
     ) {
+        self.record_scaled(name, median, sim_threads, 0, cycles, None);
+    }
+
+    /// Adds one result with the full strong-scaling identity: the slack
+    /// window the run used and (for family members past `t1`) its
+    /// speedup over the family's serial run. On an oversubscribed ask
+    /// the timing-derived fields are dropped to `null` — only the
+    /// record's identity is committed.
+    pub fn record_scaled(
+        &mut self,
+        name: impl Into<String>,
+        median: Duration,
+        sim_threads: u32,
+        sync_slack: u32,
+        cycles: Option<u64>,
+        speedup_vs_t1: Option<f64>,
+    ) {
         let secs = median.as_secs_f64();
         let cpus = host_logical_cpus();
+        let oversubscribed = cpus > 0 && sim_threads as usize > cpus;
         self.records.push(Record {
             name: name.into(),
-            median_ns: median.as_nanos(),
+            median_ns: (!oversubscribed).then_some(median.as_nanos()),
             sim_threads,
-            oversubscribed: cpus > 0 && sim_threads as usize > cpus,
-            cycles_per_second: cycles.filter(|_| secs > 0.0).map(|c| c as f64 / secs),
+            sync_slack,
+            oversubscribed,
+            speedup_vs_t1: speedup_vs_t1.filter(|s| s.is_finite() && !oversubscribed),
+            cycles_per_second: cycles
+                .filter(|_| secs > 0.0 && !oversubscribed)
+                .map(|c| c as f64 / secs),
         });
     }
 
@@ -230,11 +269,17 @@ impl JsonReport {
             }
             out.push_str(&format!(
                 "\n    {{\"name\": {}, \"median_ns\": {}, \"sim_threads\": {}, \
-                 \"oversubscribed\": {}, \"cycles_per_second\": {}}}",
+                 \"sync_slack\": {}, \"oversubscribed\": {}, \
+                 \"speedup_vs_t1\": {}, \"cycles_per_second\": {}}}",
                 gsim_json::json_string(&r.name),
-                r.median_ns,
+                r.median_ns.map_or_else(|| "null".into(), |n| n.to_string()),
                 r.sim_threads,
+                r.sync_slack,
                 r.oversubscribed,
+                match r.speedup_vs_t1 {
+                    Some(s) if s.is_finite() => format!("{s:.3}"),
+                    _ => "null".into(),
+                },
                 match r.cycles_per_second {
                     Some(c) if c.is_finite() => format!("{c:.1}"),
                     _ => "null".into(),
@@ -279,6 +324,8 @@ fn fmt_duration(d: Duration) -> String {
 
 #[cfg(test)]
 mod tests {
+    use gsim_json::Json;
+
     use super::*;
 
     #[test]
@@ -300,7 +347,7 @@ mod tests {
     fn json_report_renders_schema() {
         let mut rep = JsonReport::for_target("test");
         rep.record("g/serial", Duration::from_micros(3), 1, Some(6_000));
-        rep.record("g/\"odd\"", Duration::from_nanos(0), 8, Some(1));
+        rep.record("g/\"odd\"", Duration::from_nanos(0), 1, Some(1));
         rep.record("g/no_sim", Duration::from_millis(1), 1, None);
         let json = rep.render();
         assert!(json.contains("\"schema\": \"gsim-tinybench-v1\""));
@@ -310,7 +357,8 @@ mod tests {
         assert_eq!(cpus, host_logical_cpus() as u64);
         // 6000 cycles in 3 us = 2e9 cycles/sec.
         assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
-        // Every record says whether its thread ask fit the host.
+        // Every record says whether its thread ask fit the host, and
+        // carries the full identity even through the legacy entry point.
         for (i, rec) in doc
             .get("records")
             .and_then(gsim_json::Json::as_arr)
@@ -325,14 +373,74 @@ mod tests {
                 Some(expected),
                 "record {i}"
             );
+            assert_eq!(rec.get("sync_slack").unwrap().as_u64(), Some(0));
+            assert!(
+                matches!(rec.get("speedup_vs_t1"), Some(Json::Null)),
+                "record {i}: legacy entry point has no scaling family"
+            );
         }
+        // Serial asks never oversubscribe, so the medians are committed.
+        assert!(json.contains("\"median_ns\": 3000, \"sim_threads\": 1,"));
         // Zero-duration medians cannot produce a rate.
         assert!(json.contains("\\\"odd\\\""));
-        assert!(json.contains("\"median_ns\": 0, \"sim_threads\": 8,"));
+        assert!(json.contains("\"median_ns\": 0, \"sim_threads\": 1,"));
         assert!(json.matches("\"cycles_per_second\": null").count() >= 1);
         // Non-simulator benches carry no rate either.
         assert!(json.contains("\"name\": \"g/no_sim\""));
         assert_eq!(json.matches("\"cycles_per_second\": null").count(), 2);
+    }
+
+    #[test]
+    fn scaled_records_carry_slack_and_speedup() {
+        let mut rep = JsonReport::for_target("test");
+        rep.record_scaled(
+            "g/t2_slack16",
+            Duration::from_micros(2),
+            1,
+            16,
+            Some(4_000),
+            Some(1.5),
+        );
+        let json = rep.render();
+        assert!(json.contains("\"sync_slack\": 16,"));
+        assert!(json.contains("\"speedup_vs_t1\": 1.500,"));
+        assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
+    }
+
+    #[test]
+    fn oversubscribed_records_refuse_to_commit_timings() {
+        let cpus = host_logical_cpus();
+        if cpus == 0 {
+            return; // Host size unknown: oversubscription undetectable.
+        }
+        let threads = u32::try_from(cpus).unwrap_or(u32::MAX).saturating_add(1);
+        let mut rep = JsonReport::for_target("test");
+        rep.record_scaled(
+            "g/overloaded",
+            Duration::from_micros(5),
+            threads,
+            0,
+            Some(9_000),
+            Some(0.4),
+        );
+        let json = rep.render();
+        let doc = gsim_json::parse(&json).expect("report is valid JSON");
+        let rec = &doc
+            .get("records")
+            .and_then(gsim_json::Json::as_arr)
+            .unwrap()[0];
+        assert_eq!(rec.get("oversubscribed").unwrap().as_bool(), Some(true));
+        // Identity survives; every timing-derived field is null.
+        assert_eq!(
+            rec.get("sim_threads").unwrap().as_u64(),
+            Some(u64::from(threads))
+        );
+        for field in ["median_ns", "speedup_vs_t1", "cycles_per_second"] {
+            assert!(
+                matches!(rec.get(field), Some(Json::Null)),
+                "{field} must be null when oversubscribed"
+            );
+        }
     }
 
     #[test]

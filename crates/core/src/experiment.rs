@@ -176,6 +176,7 @@ pub struct StrongScalingExperiment {
     sizes: Vec<u32>,
     model_sizes: (u32, u32),
     sim_threads: u32,
+    sync_slack: u32,
 }
 
 impl StrongScalingExperiment {
@@ -186,6 +187,7 @@ impl StrongScalingExperiment {
             sizes: vec![8, 16, 32, 64, 128],
             model_sizes: (8, 16),
             sim_threads: 1,
+            sync_slack: 0,
         }
     }
 
@@ -196,6 +198,15 @@ impl StrongScalingExperiment {
     #[must_use]
     pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
         self.sim_threads = sim_threads.max(1);
+        self
+    }
+
+    /// Bounded-slack relaxed synchronisation (`GpuConfig::sync_slack`):
+    /// 0 (the default) is bit-exact; `s > 0` trades a documented accuracy
+    /// envelope for fewer merge barriers (DESIGN.md §15).
+    #[must_use]
+    pub fn with_sync_slack(mut self, sync_slack: u32) -> Self {
+        self.sync_slack = sync_slack;
         self
     }
 
@@ -232,6 +243,7 @@ impl StrongScalingExperiment {
             .map(|&s| {
                 let mut cfg = GpuConfig::paper_target(s, self.scale);
                 cfg.sim_threads = self.sim_threads;
+                cfg.sync_slack = self.sync_slack;
                 cfg
             })
             .collect();
@@ -320,6 +332,7 @@ pub struct WeakOutcome {
 pub struct WeakScalingExperiment {
     scale: MemScale,
     sim_threads: u32,
+    sync_slack: u32,
 }
 
 impl WeakScalingExperiment {
@@ -328,6 +341,7 @@ impl WeakScalingExperiment {
         Self {
             scale,
             sim_threads: 1,
+            sync_slack: 0,
         }
     }
 
@@ -336,6 +350,14 @@ impl WeakScalingExperiment {
     #[must_use]
     pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
         self.sim_threads = sim_threads.max(1);
+        self
+    }
+
+    /// Bounded-slack relaxed synchronisation (`GpuConfig::sync_slack`);
+    /// see [`StrongScalingExperiment::with_sync_slack`].
+    #[must_use]
+    pub fn with_sync_slack(mut self, sync_slack: u32) -> Self {
+        self.sync_slack = sync_slack;
         self
     }
 
@@ -352,6 +374,7 @@ impl WeakScalingExperiment {
                 let wl = bench.workload_for_sms(s);
                 let mut cfg = GpuConfig::paper_target(s, self.scale);
                 cfg.sim_threads = self.sim_threads;
+                cfg.sync_slack = self.sync_slack;
                 measure(&Simulator::new(cfg, &wl).run(), s)
             })
             .collect();
@@ -392,6 +415,7 @@ pub struct McmExperiment {
     scale: MemScale,
     chiplet_counts: [u32; 3],
     sim_threads: u32,
+    sync_slack: u32,
 }
 
 impl McmExperiment {
@@ -401,6 +425,7 @@ impl McmExperiment {
             scale,
             chiplet_counts: [4, 8, 16],
             sim_threads: 1,
+            sync_slack: 0,
         }
     }
 
@@ -409,6 +434,14 @@ impl McmExperiment {
     #[must_use]
     pub fn with_sim_threads(mut self, sim_threads: u32) -> Self {
         self.sim_threads = sim_threads.max(1);
+        self
+    }
+
+    /// Bounded-slack relaxed synchronisation (`GpuConfig::sync_slack`);
+    /// see [`StrongScalingExperiment::with_sync_slack`].
+    #[must_use]
+    pub fn with_sync_slack(mut self, sync_slack: u32) -> Self {
+        self.sync_slack = sync_slack;
         self
     }
 
@@ -429,6 +462,7 @@ impl McmExperiment {
                 let wl = bench.workload_for_chiplets(c);
                 let mut mcm = ChipletConfig::paper_mcm(c, self.scale);
                 mcm.chiplet.sim_threads = self.sim_threads;
+                mcm.chiplet.sync_slack = self.sync_slack;
                 measure(&Simulator::new_mcm(&mcm, &wl).run(), c)
             })
             .collect();

@@ -81,6 +81,29 @@ impl SlicedLlc {
         }
     }
 
+    /// Builds one memory partition's share of a larger LLC: `n_slices`
+    /// slices of exactly `slice_bytes` each. Unlike [`SlicedLlc::new`],
+    /// the caller owns the address-to-slice mapping (typically the global
+    /// hash of the full LLC restricted to the slices this partition
+    /// owns), so lookups must go through [`SlicedLlc::access_in_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slices` is zero or a slice is smaller than one line.
+    pub fn partition(
+        slice_bytes: u64,
+        n_slices: u32,
+        ways: u32,
+        line_bytes: u32,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(n_slices > 0, "LLC partition needs at least one slice");
+        let geom = CacheGeometry::new(slice_bytes, ways, line_bytes);
+        Self {
+            slices: vec![Cache::with_policy(geom, policy); n_slices as usize],
+        }
+    }
+
     /// Number of slices.
     pub fn n_slices(&self) -> u32 {
         self.slices.len() as u32
@@ -116,6 +139,17 @@ impl SlicedLlc {
     /// owning slice of `line_addr`.
     pub fn access_at(&mut self, slice: u32, line_addr: u64, is_write: bool) -> AccessResult {
         debug_assert_eq!(slice, self.slice_of(line_addr));
+        self.slices[slice as usize].access(line_addr, is_write)
+    }
+
+    /// Accesses `line_addr` in `slice`, where the slice index comes from
+    /// an *external* hash (a [`SlicedLlc::partition`] of a larger LLC);
+    /// no consistency with the built-in hash is assumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn access_in_slice(&mut self, slice: u32, line_addr: u64, is_write: bool) -> AccessResult {
         self.slices[slice as usize].access(line_addr, is_write)
     }
 

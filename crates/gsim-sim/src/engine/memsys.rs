@@ -1,17 +1,27 @@
-//! The shared memory system of a chip(let) and the request path into it.
+//! The owner-sharded memory system of a chip(let) and the request path
+//! into it.
 //!
-//! Everything here is *shared* state — LLC slices, the in-flight fill
-//! tracker, the crossbar, DRAM and the inter-chiplet network — so it is
-//! only ever touched from the serial apply phase (phase B), in ascending
-//! SM order. That ordering, not locks, is what keeps results
-//! thread-count-invariant (DESIGN.md §10).
+//! The shared memory system of every chip(let) is divided into
+//! `min(mem_shards, llc_slices, n_mcs)` fixed *partitions* ([`MemShard`]),
+//! each owning a slice group (global slice `g` belongs to partition
+//! `g % K`), the memory controllers interleaved onto it, its own in-flight
+//! fill tracker and a proportional share of the crossbar bisection — the
+//! memory-partition structure of real GPUs, and the unit of ownership the
+//! parallel apply phase hands to worker threads (DESIGN.md §15).
+//!
+//! A request is *routed* serially (deterministic first-touch page
+//! placement and mailbox order), *applied* partition-parallel (each shard
+//! replays its mailbox against purely shard-local state), and *merged*
+//! serially in global (cycle, SM, request) order (MSHR registration, warp
+//! wake-ups and the inter-chiplet legs, which touch cross-partition
+//! state). Because mailbox order is fixed by the serial route pass and
+//! every shard owns disjoint state, the results are bit-identical for any
+//! thread count.
 
-use gsim_mem::{BankedDramModel, DramModel, DramTiming, FillTracker, SlicedLlc};
-use gsim_trace::WorkloadModel;
-
-use super::EngineCore;
-use crate::config::GpuConfig;
+use gsim_mem::{slice_for_line, BankedDramModel, DramModel, DramTiming, FillTracker, SlicedLlc};
 use gsim_noc::Crossbar;
+
+use crate::config::GpuConfig;
 
 /// Cycles an LLC slice port is occupied by a normal access (slices are
 /// dual-banked: two accesses per cycle).
@@ -62,131 +72,231 @@ impl Dram {
     }
 }
 
-/// One memory domain: the shared memory system of a chip(let).
-pub(super) struct MemDomain {
+/// The fixed partitioning of a chip(let)'s memory system into owner
+/// shards. Identical for every chiplet of an MCM (they share one
+/// per-chiplet configuration); global shard id = `chiplet * per_chiplet
+/// + sub_shard`.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ShardMap {
+    /// Partitions per chip(let): `min(mem_shards, llc_slices, n_mcs)`.
+    pub per_chiplet: u32,
+    /// Global LLC slices per chip(let) (the hash domain).
+    pub llc_slices: u32,
+}
+
+impl ShardMap {
+    pub(super) fn new(cfg: &GpuConfig) -> Self {
+        Self {
+            per_chiplet: cfg.mem_shards.max(1).min(cfg.llc_slices).min(cfg.n_mcs),
+            llc_slices: cfg.llc_slices,
+        }
+    }
+
+    /// `(sub_shard, local_slice)` of `line` within its owner chip(let).
+    /// The *global* slice hash is unchanged from the unsharded model;
+    /// partition `k` owns global slices `{k, k + K, k + 2K, ...}`.
+    #[inline]
+    pub(super) fn route(&self, line: u64) -> (u32, u32) {
+        let g = slice_for_line(line, self.llc_slices);
+        (g % self.per_chiplet, g / self.per_chiplet)
+    }
+}
+
+/// One staged request in a shard's mailbox. `t0` is the cycle the request
+/// enters the memory system (the `now` of the historical `mem_request`).
+pub(super) struct MailEntry {
+    pub t0: u64,
+    pub line: u64,
+    pub local_slice: u32,
+    pub kind: ReqKind,
+    /// Requester chiplet differs from the owner chiplet (MCM remote).
+    pub remote: bool,
+}
+
+/// A shard's answer for one mailbox entry. `local_done` is the response
+/// arrival over the shard's crossbar share; `data_at_llc` is when the
+/// data left the LLC (the departure time of the inter-chiplet leg, which
+/// the serial merge charges for remote entries).
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ApplyOut {
+    pub local_done: f64,
+    pub data_at_llc: f64,
+    pub payload: u32,
+    pub t0: u64,
+    pub remote: bool,
+}
+
+/// The configuration slice the partition-parallel apply needs; `Copy` so
+/// worker threads can share one instance.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ApplyParams {
+    pub llc_latency: f64,
+    pub line_bytes: u32,
+    pub crossing_latency: f64,
+}
+
+/// One memory partition: a slice group of the LLC, the memory controllers
+/// interleaved onto it, a proportional share of the crossbar bisection,
+/// and its own in-flight fill tracker. Everything here is owned by
+/// exactly one shard, so the apply phase touches it without locks held by
+/// anyone else.
+pub(super) struct MemShard {
     pub noc: Crossbar,
     pub llc: SlicedLlc,
     pub slice_free: Vec<f64>,
     pub dram: Dram,
     /// In-flight LLC fills (line -> completion cycle), for miss merging.
     pub pending: FillTracker,
+    // Order-free statistic deltas, harvested once at the end of the run.
+    pub llc_accesses: u64,
+    pub llc_misses: u64,
+    pub dram_bytes: u64,
+    /// Requests staged by the serial route pass, in global
+    /// (cycle, SM, request) order restricted to this shard.
+    pub mailbox: Vec<MailEntry>,
+    /// Per-entry answers, parallel to the mailbox of the last apply.
+    pub results: Vec<ApplyOut>,
 }
 
-impl MemDomain {
-    pub(super) fn new(cfg: &GpuConfig) -> Self {
-        let llc = SlicedLlc::with_policy(
-            cfg.llc_bytes_total,
-            cfg.llc_slices,
+impl MemShard {
+    /// Builds sub-shard `k` (of `map.per_chiplet`) of one chip(let).
+    pub(super) fn new(cfg: &GpuConfig, map: ShardMap, k: u32) -> Self {
+        let kk = map.per_chiplet;
+        debug_assert!(k < kk);
+        // Slice group {k, k+K, ...}: same per-slice capacity as the
+        // unsharded LLC, local index g / K.
+        let n_slices = (map.llc_slices - k).div_ceil(kk);
+        let slice_bytes = cfg.llc_bytes_total / u64::from(cfg.llc_slices);
+        let llc = SlicedLlc::partition(
+            slice_bytes,
+            n_slices,
             cfg.llc_ways,
             cfg.line_bytes,
             cfg.llc_policy,
         );
+        // Memory controllers interleaved round-robin across partitions;
+        // within the partition, lines re-hash over the owned controllers
+        // (the partition is the unit that pairs slices with channels).
+        let n_mcs = (cfg.n_mcs - k).div_ceil(kk);
+        let dram = if cfg.dram_banks_per_mc > 0 {
+            Dram::Banked(BankedDramModel::new(
+                n_mcs,
+                cfg.dram_banks_per_mc,
+                cfg.dram_gbs_per_mc,
+                cfg.sm_clock_ghz,
+                DramTiming::default(),
+            ))
+        } else {
+            Dram::Flat(DramModel::new(
+                n_mcs,
+                cfg.dram_gbs_per_mc,
+                cfg.sm_clock_ghz,
+                cfg.dram_latency,
+            ))
+        };
         Self {
-            noc: Crossbar::from_gbs(cfg.noc_gbs, cfg.sm_clock_ghz, cfg.noc_hop_latency),
-            slice_free: vec![0.0; cfg.llc_slices as usize],
+            noc: Crossbar::from_gbs(
+                cfg.noc_gbs / f64::from(kk),
+                cfg.sm_clock_ghz,
+                cfg.noc_hop_latency,
+            ),
+            slice_free: vec![0.0; n_slices as usize],
             llc,
-            dram: if cfg.dram_banks_per_mc > 0 {
-                Dram::Banked(BankedDramModel::new(
-                    cfg.n_mcs,
-                    cfg.dram_banks_per_mc,
-                    cfg.dram_gbs_per_mc,
-                    cfg.sm_clock_ghz,
-                    DramTiming::default(),
-                ))
-            } else {
-                Dram::Flat(DramModel::new(
-                    cfg.n_mcs,
-                    cfg.dram_gbs_per_mc,
-                    cfg.sm_clock_ghz,
-                    cfg.dram_latency,
-                ))
-            },
+            dram,
             pending: FillTracker::new(),
+            llc_accesses: 0,
+            llc_misses: 0,
+            dram_bytes: 0,
+            mailbox: Vec::new(),
+            results: Vec::new(),
         }
+    }
+
+    /// Replays the mailbox against this shard's state, in mailbox order
+    /// (= global request order restricted to this shard), filling
+    /// `results` one entry per request. Touches only shard-local state,
+    /// so disjoint shards apply in parallel with bit-identical outcomes.
+    pub(super) fn apply(&mut self, p: &ApplyParams) {
+        self.results.clear();
+        let hop = f64::from(self.noc.hop_latency());
+        for e in &self.mailbox {
+            // Request travel: crossbar hop (+ chiplet crossing if remote).
+            let mut t = e.t0 as f64 + hop;
+            if e.remote {
+                t += p.crossing_latency;
+            }
+            // Slice port (camping point).
+            let occupancy = if e.kind == ReqKind::Atomic {
+                ATOMIC_OCCUPANCY
+            } else {
+                SLICE_OCCUPANCY
+            };
+            let start = self.slice_free[e.local_slice as usize].max(t);
+            self.slice_free[e.local_slice as usize] = start + occupancy;
+            let tag_done = start + p.llc_latency;
+
+            // Tag lookup; eager fill with an in-flight merge map for
+            // timing.
+            let is_write = e.kind == ReqKind::Store;
+            let result = self.llc.access_in_slice(e.local_slice, e.line, is_write);
+            self.llc_accesses += 1;
+            let data_at_llc = if result.is_hit() {
+                match self.pending.fill_after(e.line, e.t0) {
+                    Some(fill) => fill as f64,
+                    None => tag_done,
+                }
+            } else {
+                self.llc_misses += 1;
+                if let Some(victim) = result.evicted() {
+                    if victim.dirty {
+                        self.dram
+                            .write_back(tag_done as u64, victim.line_addr, p.line_bytes);
+                        self.dram_bytes += u64::from(p.line_bytes);
+                    }
+                }
+                let fill = self.dram.read(tag_done as u64, e.line, p.line_bytes);
+                self.dram_bytes += u64::from(p.line_bytes);
+                self.pending.insert(e.line, fill, e.t0);
+                fill as f64
+            };
+
+            // Response travel over this shard's bisection share.
+            let payload = if e.kind == ReqKind::Atomic {
+                ATOMIC_BYTES
+            } else {
+                p.line_bytes
+            };
+            let eff = ((f64::from(payload) * BISECTION_FRACTION) as u32).max(1);
+            let local_done = self.noc.traverse(data_at_llc, eff);
+            self.results.push(ApplyOut {
+                local_done,
+                data_at_llc,
+                payload,
+                t0: e.t0,
+                remote: e.remote,
+            });
+        }
+        self.mailbox.clear();
     }
 }
 
-impl<W: WorkloadModel> EngineCore<'_, W> {
-    /// Domain owning `line` (first-touch page placement for MCM; always 0
-    /// for monolithic GPUs).
-    fn owner_of(&mut self, line: u64, toucher: u32) -> u32 {
-        if self.domains.len() == 1 {
-            return 0;
-        }
-        let page = line >> self.page_shift;
-        *self.page_owner.entry(page).or_insert(toucher)
+/// Mutable access to every memory shard by global id, whether the shards
+/// live in one `Vec` (serial) or behind per-worker mutex guards
+/// (parallel).
+pub(super) trait ShardSet {
+    fn shard_mut(&mut self, id: usize) -> &mut MemShard;
+}
+
+impl ShardSet for Vec<MemShard> {
+    fn shard_mut(&mut self, id: usize) -> &mut MemShard {
+        &mut self[id]
     }
+}
 
-    /// Sends one transaction into the shared memory system; returns the
-    /// cycle its response reaches the requesting SM.
-    pub(super) fn mem_request(
-        &mut self,
-        now: u64,
-        sm_chiplet: u32,
-        line: u64,
-        kind: ReqKind,
-    ) -> u64 {
-        let owner = self.owner_of(line, sm_chiplet);
-        let remote = owner != sm_chiplet;
-        let dom = &mut self.domains[owner as usize];
-        let hop = f64::from(dom.noc.hop_latency());
-
-        // Request travel: local crossbar hop (+ chiplet crossing if remote).
-        let mut t = now as f64 + hop;
-        if remote {
-            let icn = self.icn.as_mut().expect("remote access implies MCM");
-            t += f64::from(icn.crossing_latency());
-        }
-
-        // Slice port (camping point). The slice index is hashed once and
-        // reused for the tag lookup below.
-        let slice = dom.llc.slice_of(line);
-        let occupancy = if kind == ReqKind::Atomic {
-            ATOMIC_OCCUPANCY
-        } else {
-            SLICE_OCCUPANCY
-        };
-        let start = dom.slice_free[slice as usize].max(t);
-        dom.slice_free[slice as usize] = start + occupancy;
-        let tag_done = start + f64::from(self.cfg.llc_latency);
-
-        // Tag lookup; eager fill with an in-flight merge map for timing.
-        let is_write = kind == ReqKind::Store;
-        let line_bytes = self.cfg.line_bytes;
-        let result = dom.llc.access_at(slice, line, is_write);
-        self.stats.llc_accesses += 1;
-        let data_at_llc = if result.is_hit() {
-            match dom.pending.fill_after(line, now) {
-                Some(fill) => fill as f64,
-                None => tag_done,
-            }
-        } else {
-            self.stats.llc_misses += 1;
-            if let Some(victim) = result.evicted() {
-                if victim.dirty {
-                    dom.dram
-                        .write_back(tag_done as u64, victim.line_addr, line_bytes);
-                    self.stats.dram_bytes += u64::from(line_bytes);
-                }
-            }
-            let fill = dom.dram.read(tag_done as u64, line, line_bytes);
-            self.stats.dram_bytes += u64::from(line_bytes);
-            dom.pending.insert(line, fill, now);
-            fill as f64
-        };
-
-        // Response travel: bisection bandwidth + hop (+ chiplet crossing).
-        let payload = if kind == ReqKind::Atomic {
-            ATOMIC_BYTES
-        } else {
-            line_bytes
-        };
-        let eff = ((f64::from(payload) * BISECTION_FRACTION) as u32).max(1);
-        let mut data_at_sm = dom.noc.traverse(data_at_llc, eff);
-        if remote {
-            let icn = self.icn.as_mut().expect("remote access implies MCM");
-            data_at_sm = data_at_sm.max(icn.traverse(data_at_llc, owner, sm_chiplet, payload));
-        }
-        (data_at_sm.ceil() as u64).max(now + 1)
-    }
+/// Builds the full shard set of a system: `n_chiplets * map.per_chiplet`
+/// shards, chiplet-major.
+pub(super) fn build_shards(cfg: &GpuConfig, map: ShardMap, n_chiplets: u32) -> Vec<MemShard> {
+    (0..n_chiplets)
+        .flat_map(|_| (0..map.per_chiplet).map(|k| MemShard::new(cfg, map, k)))
+        .collect()
 }

@@ -1,28 +1,35 @@
 //! The cycle-level simulation engine.
 //!
 //! One engine serves both monolithic GPUs and multi-chiplet (MCM) GPUs: a
-//! monolithic GPU is a single memory *domain* (crossbar + sliced LLC +
-//! DRAM); an MCM GPU is one domain per chiplet plus an inter-chiplet
-//! network and first-touch page placement.
+//! monolithic GPU is a single chip(let) whose memory system is divided
+//! into owner-sharded partitions (slice groups + their memory
+//! controllers); an MCM GPU has those partitions per chiplet plus an
+//! inter-chiplet network and first-touch page placement.
 //!
-//! The engine advances one cycle at a time while any SM can issue, and
-//! jumps directly to the next warp wake-up when none can — memory-bound
-//! phases therefore cost little simulation time, exactly like the
-//! event-driven cores of production simulators.
-//!
-//! Every cycle is executed in two phases (DESIGN.md §10):
+//! The engine advances in *windows* of `sync_slack + 1` cycles
+//! (DESIGN.md §15). Within a window:
 //!
 //! * **Phase A** (parallelisable): each SM independently drains its wake
-//!   heap, picks a warp and issues at most one instruction, staging any
-//!   shared-memory-system work in its [`sm::LaneOut`].
-//! * **Phase B** (always serial, ascending SM index): staged requests are
-//!   applied to the shared [`memsys::MemDomain`]s, CTA completions drive
-//!   dispatch and kernel sequencing, and the cycle's control-flow decision
-//!   (advance, jump, finish) is made.
+//!   heap, picks warps and issues, buffering event records
+//!   ([`WinRec`]) for each cycle that staged shared-memory work or
+//!   completed a CTA.
+//! * **Flush** (at the window barrier): a serial *route* pass walks the
+//!   records in (cycle, SM) order — CTA completions, dispatch, kernel
+//!   sequencing, first-touch page placement — and bins line requests into
+//!   per-partition mailboxes; the partitions then *apply* their mailboxes
+//!   in parallel (each touches only its own LLC slices, DRAM channels,
+//!   crossbar share and fill tracker); a serial *merge* pass finishes in
+//!   global order (MSHR registration, warp wake-ups, inter-chiplet legs)
+//!   and makes the control-flow decision (advance, jump, finish).
 //!
-//! Because phase A touches only per-SM state and phase B runs in a fixed
-//! order on one thread, the simulation's results are bit-identical for
-//! any [`GpuConfig::sim_threads`] value.
+//! With the default `sync_slack = 0` the window is one cycle and every
+//! result is bit-identical for any [`GpuConfig::sim_threads`] value: the
+//! route and merge passes run in a fixed global order, and each partition
+//! sees the same mailbox sequence regardless of which thread applies it.
+//! With slack `s > 0`, SMs run up to `s` cycles past the merge barrier;
+//! results drift within a small envelope but stay deterministic for a
+//! given slack — and still thread-count-invariant, because the window
+//! structure does not depend on the host thread count.
 
 mod memsys;
 mod shard;
@@ -39,13 +46,14 @@ use gsim_trace::{Workload, WorkloadModel};
 use crate::chiplet::ChipletConfig;
 use crate::config::GpuConfig;
 use crate::stats::SimStats;
-use memsys::{MemDomain, ReqKind};
-use sm::{LaneParams, LineKind, Sm, WarpCtx};
+use memsys::{build_shards, ApplyOut, ApplyParams, MemShard, ReqKind, ShardMap, ShardSet};
+use sm::{LaneParams, LineKind, LineReq, MemIssue, Sm, WarpCtx};
 
 /// Mutable access to every SM by global index, regardless of whether the
 /// SMs live in one `Vec` (serial) or are spread over shard mutexes
-/// (parallel). Phase B is written against this so both execution paths
-/// share one code path — the determinism argument in one place.
+/// (parallel). The flush passes are written against this so both
+/// execution paths share one code path — the determinism argument in one
+/// place.
 trait SmPool<S> {
     fn n_sms(&self) -> usize;
     fn sm_mut(&mut self, idx: usize) -> &mut Sm<S>;
@@ -61,22 +69,129 @@ impl<S> SmPool<S> for Vec<Sm<S>> {
     }
 }
 
-/// Phase B's verdict on how the simulation proceeds.
+/// The flush's verdict on how the simulation proceeds.
 enum CycleOutcome {
-    /// Continue at this cycle (either `now + 1` or a jump target).
+    /// Continue at this cycle (either the next window start or a jump
+    /// target).
     Advance(u64),
     /// The simulation is over; the final cycle count is attached.
     Done(u64),
 }
 
-/// Everything the engine owns *besides* the per-SM lanes: configuration,
-/// the shared memory domains, kernel sequencing and statistics. During a
-/// parallel run this stays on the coordinating thread; worker threads see
-/// only their SM shard.
+/// One SM's buffered phase-A output for one cycle that produced events
+/// (a staged memory instruction and/or completed CTAs). Pure-compute and
+/// idle cycles leave no record — their statistics live in the per-cycle
+/// counters of [`WindowOut`].
+struct WinRec {
+    cycle: u64,
+    sm: u32,
+    completed: u32,
+    mem: Option<MemIssue>,
+    reqs: Vec<LineReq>,
+}
+
+/// Everything one SM shard hands to the flush for one window. Owned by
+/// the execution context that ran the shard and reused across windows so
+/// the steady state allocates nothing.
+#[derive(Default)]
+struct WindowOut {
+    /// Event records, sorted by (cycle, SM) by construction.
+    recs: Vec<WinRec>,
+    /// Per window-cycle counts of SMs that issued / stalled on memory /
+    /// sat idle, indexed by offset from the window start. Issue counts
+    /// double as per-cycle warp-instruction counts (at most one
+    /// instruction issues per SM per cycle).
+    issued: Vec<u32>,
+    stalled: Vec<u32>,
+    idle: Vec<u32>,
+    l1_accesses: u64,
+    l1_misses: u64,
+    /// Recycled request buffers for `WinRec::reqs`.
+    spare: Vec<Vec<LineReq>>,
+}
+
+/// Runs `len` cycles of phase A starting at `start` over one SM shard,
+/// buffering events and per-cycle counters into `out`. Touches only the
+/// shard's SMs, so disjoint shards run on worker threads.
+fn run_window<S: gsim_trace::WarpStream>(
+    sms: &mut [Sm<S>],
+    base_sm: u32,
+    start: u64,
+    len: u32,
+    params: &LaneParams,
+    out: &mut WindowOut,
+) {
+    out.issued.clear();
+    out.issued.resize(len as usize, 0);
+    out.stalled.clear();
+    out.stalled.resize(len as usize, 0);
+    out.idle.clear();
+    out.idle.resize(len as usize, 0);
+    out.l1_accesses = 0;
+    out.l1_misses = 0;
+    debug_assert!(out.recs.is_empty(), "flush must drain records");
+    for w in 0..len {
+        let now = start + u64::from(w);
+        for (j, sm) in sms.iter_mut().enumerate() {
+            sm.phase_a(now, params);
+            out.l1_accesses += sm.out.l1_accesses;
+            out.l1_misses += sm.out.l1_misses;
+            if sm.out.issued {
+                out.issued[w as usize] += 1;
+            } else if sm.out.live {
+                out.stalled[w as usize] += 1;
+            } else {
+                out.idle[w as usize] += 1;
+            }
+            if let Some(mi) = sm.out.mem {
+                // Non-blocking issuers (stores) continue immediately:
+                // re-queue locally, exactly where the serial apply would.
+                if !mi.blocks {
+                    sm.insert_ready(mi.warp);
+                }
+            }
+            if sm.out.mem.is_some() || sm.out.completed_ctas > 0 {
+                let fresh = out.spare.pop().unwrap_or_default();
+                let reqs = std::mem::replace(&mut sm.out.reqs, fresh);
+                out.recs.push(WinRec {
+                    cycle: now,
+                    sm: base_sm + j as u32,
+                    completed: sm.out.completed_ctas,
+                    mem: sm.out.mem.take(),
+                    reqs,
+                });
+            }
+        }
+    }
+}
+
+/// Route-pass bookkeeping reused across windows.
+#[derive(Default)]
+struct FlushScratch {
+    /// `(shard id, mailbox index)` per routed request, in global
+    /// (cycle, SM, request) order — the merge pass consumes it with a
+    /// cursor.
+    plan: Vec<(u32, u32)>,
+    /// `(window-out index, record index)` of every record with a staged
+    /// memory instruction, in global (cycle, SM) order.
+    order: Vec<(u32, u32)>,
+    /// Per-window-out cursor for the cycle-ordered record walk.
+    cursors: Vec<usize>,
+    /// Set when the route pass exhausted the kernel sequence: the cycle
+    /// the last CTA completed.
+    done_at: Option<u64>,
+}
+
+/// Everything the engine owns *besides* the per-SM lanes and the memory
+/// partitions: configuration, interconnect, kernel sequencing and
+/// statistics. During a parallel run this stays on the coordinating
+/// thread; worker threads see only their SM shard and their assigned
+/// memory partitions.
 struct EngineCore<'wl, W: WorkloadModel> {
     cfg: GpuConfig,
     wl: &'wl W,
-    domains: Vec<MemDomain>,
+    map: ShardMap,
+    n_chiplets: u32,
     icn: Option<ChipletInterconnect>,
     page_owner: HashMap<u64, u32>,
     page_shift: u32,
@@ -102,6 +217,7 @@ struct EngineCore<'wl, W: WorkloadModel> {
 pub struct Simulator<'wl, W: WorkloadModel = Workload> {
     core: EngineCore<'wl, W>,
     sms: Vec<Sm<W::Stream>>,
+    mem: Vec<MemShard>,
 }
 
 impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
@@ -110,10 +226,12 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
     /// [`TracedWorkload`](gsim_trace::TracedWorkload).
     pub fn new(cfg: GpuConfig, wl: &'wl W) -> Self {
         let sms = (0..cfg.n_sms).map(|_| Sm::new(&cfg, 0)).collect();
-        let domains = vec![MemDomain::new(&cfg)];
+        let map = ShardMap::new(&cfg);
+        let mem = build_shards(&cfg, map, 1);
         Self {
             core: EngineCore {
-                domains,
+                map,
+                n_chiplets: 1,
                 icn: None,
                 page_owner: HashMap::new(),
                 page_shift: 5,
@@ -129,11 +247,12 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
                 wl,
             },
             sms,
+            mem,
         }
     }
 
     /// Creates a multi-chiplet simulation of `wl` on `mcm` (Section VII.D):
-    /// one memory domain per chiplet, first-touch page placement, and a
+    /// per-chiplet memory partitions, first-touch page placement, and a
     /// bandwidth-limited inter-chiplet network for remote accesses.
     pub fn new_mcm(mcm: &ChipletConfig, wl: &'wl W) -> Self {
         let per = &mcm.chiplet;
@@ -142,12 +261,14 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
         let sms = (0..total_sms)
             .map(|i| Sm::new(per, i / per.n_sms))
             .collect();
-        let domains = (0..n_chiplets).map(|_| MemDomain::new(per)).collect();
+        let map = ShardMap::new(per);
+        let mem = build_shards(per, map, n_chiplets);
         let mut cfg = per.clone();
         cfg.n_sms = total_sms;
         Self {
             core: EngineCore {
-                domains,
+                map,
+                n_chiplets,
                 icn: Some(ChipletInterconnect::from_gbs(
                     n_chiplets,
                     mcm.interchiplet_gbs_per_chiplet,
@@ -168,6 +289,7 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
                 wl,
             },
             sms,
+            mem,
         }
     }
 
@@ -179,39 +301,55 @@ impl<'wl, W: WorkloadModel> Simulator<'wl, W> {
 
     /// Runs the workload to completion and returns the statistics.
     ///
-    /// With `sim_threads > 1` the per-SM phase of each cycle is sharded
-    /// across that many execution contexts (hence `W::Stream: Send`); the
-    /// results are bit-identical to the serial run either way.
+    /// With `sim_threads > 1`, the per-SM phase of each cycle and the
+    /// per-partition memory apply are sharded across that many execution
+    /// contexts (hence `W::Stream: Send`); the results are bit-identical
+    /// to the serial run either way. `sync_slack > 0` additionally lets
+    /// SMs run that many cycles past the merge barrier (still
+    /// deterministic per slack value, no longer bit-exact).
     pub fn run(mut self) -> SimStats
     where
         W::Stream: Send,
     {
         let wall = Instant::now();
         let threads = (self.core.cfg.sim_threads.max(1) as usize).min(self.sms.len().max(1));
+        let window = self.core.cfg.sync_slack.saturating_add(1);
         self.core.dispatch_round_robin(&mut self.sms);
         let mut stats = if threads <= 1 {
-            run_serial(self.core, self.sms)
+            run_serial(self.core, self.sms, self.mem, window)
         } else {
-            shard::run_sharded(self.core, self.sms, threads)
+            shard::run_sharded(self.core, self.sms, self.mem, threads, window)
         };
         stats.sim_wall_seconds = wall.elapsed().as_secs_f64();
         stats
     }
 }
 
-/// The serial driver: both phases inline on the calling thread.
+/// The serial driver: window, route, apply and merge inline on the
+/// calling thread.
 fn run_serial<W: WorkloadModel>(
     mut core: EngineCore<'_, W>,
     mut sms: Vec<Sm<W::Stream>>,
+    mut mem: Vec<MemShard>,
+    window: u32,
 ) -> SimStats {
     let params = LaneParams::from_cfg(&core.cfg);
+    let ap = core.apply_params();
     let n_sms = sms.len();
+    let mut out = WindowOut::default();
+    let mut scratch = FlushScratch::default();
     let mut now = 0u64;
     loop {
-        for sm in sms.iter_mut() {
-            sm.phase_a(now, &params);
-        }
-        match core.phase_b(&mut sms, now) {
+        run_window(&mut sms, 0, now, window, &params, &mut out);
+        let outcome = {
+            let mut outs = [&mut out];
+            core.flush_route(&mut sms, &mut outs, &mut mem, now, window, &mut scratch);
+            for shard in mem.iter_mut() {
+                shard.apply(&ap);
+            }
+            core.flush_merge(&mut sms, &mut outs, &mut mem, now, window, &mut scratch)
+        };
+        match outcome {
             CycleOutcome::Advance(t) => now = t,
             CycleOutcome::Done(t) => {
                 now = t;
@@ -219,7 +357,7 @@ fn run_serial<W: WorkloadModel>(
             }
         }
     }
-    core.finish(now, n_sms)
+    core.finish(now, n_sms, &mem)
 }
 
 impl<W: WorkloadModel> EngineCore<'_, W> {
@@ -287,8 +425,8 @@ impl<W: WorkloadModel> EngineCore<'_, W> {
         true
     }
 
-    /// Global bookkeeping for one CTA that completed on `sm_idx` this
-    /// cycle: backfill dispatch, and advance the kernel sequence when the
+    /// Global bookkeeping for one CTA that completed on `sm_idx` at
+    /// `now`: backfill dispatch, and advance the kernel sequence when the
     /// grid has drained.
     fn on_cta_completed<P: SmPool<W::Stream>>(&mut self, pool: &mut P, sm_idx: usize, now: u64) {
         self.ctas_in_flight -= 1;
@@ -307,111 +445,238 @@ impl<W: WorkloadModel> EngineCore<'_, W> {
         }
     }
 
-    /// The serial half of a cycle: applies every SM's staged phase-A
-    /// output to the shared state in ascending SM order, then decides how
-    /// the simulation proceeds. Must be called exactly once per cycle,
-    /// after every SM's `phase_a`.
-    fn phase_b<P: SmPool<W::Stream>>(&mut self, pool: &mut P, now: u64) -> CycleOutcome {
-        let n = pool.n_sms();
+    fn apply_params(&self) -> ApplyParams {
+        ApplyParams {
+            llc_latency: f64::from(self.cfg.llc_latency),
+            line_bytes: self.cfg.line_bytes,
+            crossing_latency: self
+                .icn
+                .as_ref()
+                .map_or(0.0, |i| f64::from(i.crossing_latency())),
+        }
+    }
+
+    /// Chiplet owning `line` (first-touch page placement for MCM; always
+    /// 0 for monolithic GPUs).
+    fn owner_of(&mut self, line: u64, toucher: u32) -> u32 {
+        if self.n_chiplets == 1 {
+            return 0;
+        }
+        let page = line >> self.page_shift;
+        *self.page_owner.entry(page).or_insert(toucher)
+    }
+
+    /// Routes the staged line requests of one memory instruction into the
+    /// per-partition mailboxes, recording the placement in `plan`.
+    fn route_reqs(
+        &mut self,
+        mem: &mut dyn ShardSet,
+        sm_chiplet: u32,
+        cycle: u64,
+        reqs: &[LineReq],
+        plan: &mut Vec<(u32, u32)>,
+    ) {
         let l1_lat = u64::from(self.cfg.l1_latency);
-        let mut any_issue = false;
-        for i in 0..n {
-            // Per-SM counters accumulated without touching shared state.
-            let (completed, issued, live) = {
-                let sm = pool.sm_mut(i);
-                self.stats.warp_instrs += sm.out.warp_instrs;
-                self.stats.l1_accesses += sm.out.l1_accesses;
-                self.stats.l1_misses += sm.out.l1_misses;
-                (sm.out.completed_ctas, sm.out.issued, sm.out.live)
+        for req in reqs {
+            let (t0, kind) = match req.kind {
+                LineKind::MissLoad => (cycle + l1_lat, ReqKind::Load),
+                LineKind::Store => (cycle + l1_lat, ReqKind::Store),
+                LineKind::Direct(kind) => (cycle, kind),
             };
-            // CTA completions: dispatch backfill and kernel sequencing.
-            for _ in 0..completed {
-                self.on_cta_completed(pool, i, now);
-            }
-            // The staged memory instruction, applied in line order.
-            let sm = pool.sm_mut(i);
-            if let Some(mi) = sm.out.mem.take() {
-                let chiplet = sm.chiplet;
-                let mut wake = mi.base_wake;
-                for r in 0..sm.out.reqs.len() {
-                    let req = sm.out.reqs[r];
-                    match req.kind {
-                        LineKind::MissLoad => {
-                            if sm.mshr.is_full() {
-                                sm.mshr.complete_up_to(now);
-                            }
-                            let fill =
-                                self.mem_request(now + l1_lat, chiplet, req.line, ReqKind::Load);
-                            match sm.mshr.register(req.line, fill) {
-                                MshrOutcome::Allocated | MshrOutcome::Full => {
-                                    wake = wake.max(fill);
-                                }
-                                MshrOutcome::Merged(f) => {
-                                    // A merge cannot be slower than a re-fetch.
-                                    wake = wake.max(f.min(fill));
-                                }
-                            }
-                        }
-                        LineKind::Store => {
-                            let _ =
-                                self.mem_request(now + l1_lat, chiplet, req.line, ReqKind::Store);
-                        }
-                        LineKind::Direct(kind) => {
-                            let ready = self.mem_request(now, chiplet, req.line, kind);
-                            wake = wake.max(ready);
-                        }
+            let owner = self.owner_of(req.line, sm_chiplet);
+            let (sub, local_slice) = self.map.route(req.line);
+            let sid = owner * self.map.per_chiplet + sub;
+            let shard = mem.shard_mut(sid as usize);
+            shard.mailbox.push(memsys::MailEntry {
+                t0,
+                line: req.line,
+                local_slice,
+                kind,
+                remote: owner != sm_chiplet,
+            });
+            plan.push((sid, (shard.mailbox.len() - 1) as u32));
+        }
+    }
+
+    /// The serial route pass of a flush: walks the window's records in
+    /// (cycle, SM) order, driving CTA completions, dispatch, kernel
+    /// sequencing, milestones and stall accounting, and binning every
+    /// line request into its owner partition's mailbox.
+    fn flush_route<P: SmPool<W::Stream>>(
+        &mut self,
+        pool: &mut P,
+        outs: &mut [&mut WindowOut],
+        mem: &mut dyn ShardSet,
+        start: u64,
+        len: u32,
+        scratch: &mut FlushScratch,
+    ) {
+        scratch.plan.clear();
+        scratch.order.clear();
+        scratch.done_at = None;
+        scratch.cursors.clear();
+        scratch.cursors.resize(outs.len(), 0);
+        'cycles: for w in 0..len as usize {
+            let now = start + w as u64;
+            // Records of this cycle, ascending SM (shards hold contiguous
+            // ascending SM ranges, and each shard's records are
+            // (cycle, SM)-sorted by construction).
+            for (s, out) in outs.iter().enumerate() {
+                while let Some(rec) = out.recs.get(scratch.cursors[s]) {
+                    if rec.cycle != now {
+                        break;
+                    }
+                    let i = scratch.cursors[s];
+                    scratch.cursors[s] += 1;
+                    for _ in 0..rec.completed {
+                        self.on_cta_completed(pool, rec.sm as usize, now);
+                    }
+                    if rec.mem.is_some() {
+                        let chiplet = pool.sm_mut(rec.sm as usize).chiplet;
+                        self.route_reqs(mem, chiplet, now, &rec.reqs, &mut scratch.plan);
+                        scratch.order.push((s as u32, i as u32));
                     }
                 }
-                if mi.blocks {
-                    sm.blocked.push(Reverse((wake, mi.warp)));
-                } else {
-                    sm.insert_ready(mi.warp);
+            }
+            // Cycle-level statistics and milestones, in cycle order.
+            let issued: u64 = outs.iter().map(|o| u64::from(o.issued[w])).sum();
+            self.stats.warp_instrs += issued;
+            self.stats.mem_stall_sm_cycles +=
+                outs.iter().map(|o| u64::from(o.stalled[w])).sum::<u64>();
+            self.stats.idle_sm_cycles += outs.iter().map(|o| u64::from(o.idle[w])).sum::<u64>();
+            if self.stats.cycle_at_10pct == 0 && self.stats.warp_instrs >= self.milestone_10 {
+                self.stats.cycle_at_10pct = now + 1;
+            }
+            if self.stats.cycle_at_90pct == 0 && self.stats.warp_instrs >= self.milestone_90 {
+                self.stats.cycle_at_90pct = now + 1;
+                self.stats.warp_instrs_window = self.stats.warp_instrs - self.milestone_10;
+            }
+            if self.kernel_idx >= self.wl.n_kernels() {
+                // The kernel sequence drained at this cycle; later window
+                // cycles (necessarily event-free) are discarded.
+                scratch.done_at = Some(now);
+                break 'cycles;
+            }
+        }
+        for out in outs.iter() {
+            self.stats.l1_accesses += out.l1_accesses;
+            self.stats.l1_misses += out.l1_misses;
+        }
+    }
+
+    /// The final response time of one applied request: charges the
+    /// inter-chiplet legs for remote entries (egress of the owner,
+    /// ingress of the requester — cross-partition state, hence serial).
+    fn finish_entry(&mut self, r: &ApplyOut, owner_chiplet: u32, sm_chiplet: u32) -> u64 {
+        let mut done = r.local_done;
+        if r.remote {
+            let icn = self.icn.as_mut().expect("remote access implies MCM");
+            done = done.max(icn.traverse(r.data_at_llc, owner_chiplet, sm_chiplet, r.payload));
+        }
+        (done.ceil() as u64).max(r.t0 + 1)
+    }
+
+    /// The serial merge pass of a flush: walks the routed memory
+    /// instructions in global (cycle, SM, request) order, finishing each
+    /// request (inter-chiplet legs), registering fills with the issuing
+    /// SM's MSHR file, re-queueing warps, and deciding how the simulation
+    /// proceeds.
+    fn flush_merge<P: SmPool<W::Stream>>(
+        &mut self,
+        pool: &mut P,
+        outs: &mut [&mut WindowOut],
+        mem: &mut dyn ShardSet,
+        start: u64,
+        len: u32,
+        scratch: &mut FlushScratch,
+    ) -> CycleOutcome {
+        let k = self.map.per_chiplet;
+        let mut cursor = 0usize;
+        for &(s, i) in &scratch.order {
+            let rec = &outs[s as usize].recs[i as usize];
+            let mi = rec.mem.expect("ordered records stage memory");
+            let sm_chiplet = pool.sm_mut(rec.sm as usize).chiplet;
+            let mut wake = mi.base_wake;
+            for req in &rec.reqs {
+                let (sid, idx) = scratch.plan[cursor];
+                cursor += 1;
+                let result = mem.shard_mut(sid as usize).results[idx as usize];
+                let done = self.finish_entry(&result, sid / k, sm_chiplet);
+                let smx = pool.sm_mut(rec.sm as usize);
+                match req.kind {
+                    LineKind::MissLoad => {
+                        if smx.mshr.is_full() {
+                            smx.mshr.complete_up_to(rec.cycle);
+                        }
+                        match smx.mshr.register(req.line, done) {
+                            MshrOutcome::Allocated | MshrOutcome::Full => {
+                                wake = wake.max(done);
+                            }
+                            MshrOutcome::Merged(f) => {
+                                // A merge cannot be slower than a re-fetch.
+                                wake = wake.max(f.min(done));
+                            }
+                        }
+                    }
+                    // Stores are fire-and-forget: the request was charged
+                    // (including the inter-chiplet legs), the warp was
+                    // already re-queued during the window.
+                    LineKind::Store => {}
+                    LineKind::Direct(_) => {
+                        wake = wake.max(done);
+                    }
                 }
             }
-            if issued {
-                any_issue = true;
-            } else if live {
-                self.stats.mem_stall_sm_cycles += 1;
-            } else {
-                self.stats.idle_sm_cycles += 1;
+            if mi.blocks {
+                pool.sm_mut(rec.sm as usize)
+                    .blocked
+                    .push(Reverse((wake, mi.warp)));
             }
         }
-        if self.stats.cycle_at_10pct == 0 && self.stats.warp_instrs >= self.milestone_10 {
-            self.stats.cycle_at_10pct = now + 1;
+        // Recycle the record buffers.
+        for out in outs.iter_mut() {
+            for i in 0..out.recs.len() {
+                let mut reqs = std::mem::take(&mut out.recs[i].reqs);
+                reqs.clear();
+                out.spare.push(reqs);
+            }
+            out.recs.clear();
         }
-        if self.stats.cycle_at_90pct == 0 && self.stats.warp_instrs >= self.milestone_90 {
-            self.stats.cycle_at_90pct = now + 1;
-            self.stats.warp_instrs_window = self.stats.warp_instrs - self.milestone_10;
+        // Control flow.
+        if let Some(done_cycle) = scratch.done_at {
+            return CycleOutcome::Done(done_cycle + 1);
         }
-        if self.kernel_idx >= self.wl.n_kernels() {
-            return CycleOutcome::Done(now + 1);
+        let end = start + u64::from(len);
+        let last = (len - 1) as usize;
+        if outs.iter().any(|o| o.issued[last] > 0) {
+            return CycleOutcome::Advance(end);
         }
-        if any_issue {
-            return CycleOutcome::Advance(now + 1);
-        }
-        // Nothing issued anywhere: jump to the next wake-up.
+        // Nothing issued at the window's last cycle: jump to the next
+        // wake-up unless a flush-time dispatch made warps ready.
+        let n = pool.n_sms();
         let mut next_wake: Option<u64> = None;
         let mut any_ready = false;
         for i in 0..n {
-            let sm = pool.sm_mut(i);
-            if let Some(&Reverse((t, _))) = sm.blocked.peek() {
+            let smx = pool.sm_mut(i);
+            if let Some(&Reverse((t, _))) = smx.blocked.peek() {
                 next_wake = Some(next_wake.map_or(t, |m| m.min(t)));
             }
-            if sm.has_ready() {
+            if smx.has_ready() {
                 any_ready = true;
             }
         }
         if any_ready {
-            // A kernel boundary inside this cycle made warps ready on SMs
-            // that had already issued their attempt; give them the next
-            // cycle.
-            return CycleOutcome::Advance(now + 1);
+            // A kernel boundary inside this window made warps ready on
+            // SMs that had already issued their attempt; give them the
+            // next cycle.
+            return CycleOutcome::Advance(end);
         }
         let Some(next_wake) = next_wake else {
             // No ready warps, no blocked warps, nothing issued: completion.
-            return CycleOutcome::Done(now);
+            return CycleOutcome::Done(end - 1);
         };
-        let dt = next_wake.saturating_sub(now + 1);
+        let target = next_wake.max(end);
+        let dt = target - end;
         if dt > 0 {
             for i in 0..n {
                 if pool.sm_mut(i).live_warps > 0 {
@@ -421,11 +686,17 @@ impl<W: WorkloadModel> EngineCore<'_, W> {
                 }
             }
         }
-        CycleOutcome::Advance(next_wake)
+        CycleOutcome::Advance(target)
     }
 
-    /// Seals the statistics once the last cycle has run.
-    fn finish(mut self, now: u64, n_sms: usize) -> SimStats {
+    /// Seals the statistics once the last cycle has run, harvesting the
+    /// per-partition counters (order-free sums).
+    fn finish(mut self, now: u64, n_sms: usize, mem: &[MemShard]) -> SimStats {
+        for shard in mem {
+            self.stats.llc_accesses += shard.llc_accesses;
+            self.stats.llc_misses += shard.llc_misses;
+            self.stats.dram_bytes += shard.dram_bytes;
+        }
         self.stats.cycles = now;
         self.stats.total_sm_cycles = now * n_sms as u64;
         self.stats.thread_instrs = self.stats.warp_instrs * 32;
@@ -448,12 +719,12 @@ mod tests {
         Workload::new("t", 9, vec![Kernel::new("k", ctas, 256, spec)])
     }
 
-    /// Runs `wl` on `cfg` serially and with `sim_threads` in {2, 4} and
-    /// asserts bit-identical statistics — the tentpole's determinism
+    /// Runs `wl` on `cfg` serially and with `sim_threads` in {2, 4, 8}
+    /// and asserts bit-identical statistics — the tentpole's determinism
     /// contract.
     fn assert_thread_invariant(cfg: &GpuConfig, wl: &Workload) {
         let serial = Simulator::new(cfg.clone(), wl).run();
-        for threads in [2u32, 4] {
+        for threads in [2u32, 4, 8] {
             let mut c = cfg.clone();
             c.sim_threads = threads;
             let parallel = Simulator::new(c, wl).run();
@@ -685,7 +956,7 @@ mod tests {
         assert_eq!(stats.ctas_executed, 96);
     }
 
-    // ---- sim_threads determinism contract (DESIGN.md §10) ----
+    // ---- sim_threads determinism contract (DESIGN.md §10/§15) ----
 
     #[test]
     fn sim_threads_bit_identical_8sm() {
@@ -711,7 +982,7 @@ mod tests {
     #[test]
     fn sim_threads_bit_identical_multi_kernel_boundaries() {
         // Kernel boundaries mid-run exercise the dispatch/kernel-advance
-        // path of the serial apply phase.
+        // path of the serial route pass.
         let spec = || PatternSpec::new(PatternKind::Streaming, 5_000).compute_per_mem(1.0);
         let wl = Workload::new(
             "seq",
@@ -734,7 +1005,32 @@ mod tests {
         let wl = Workload::new("m", 12, vec![Kernel::new("k", 512, 256, spec)]);
         let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
         let serial = Simulator::new_mcm(&mcm, &wl).run();
-        for threads in [2u32, 4] {
+        for threads in [2u32, 4, 8] {
+            let mut m = mcm.clone();
+            m.chiplet.sim_threads = threads;
+            let parallel = Simulator::new_mcm(&m, &wl).run();
+            serial.assert_deterministic_eq(&parallel);
+        }
+    }
+
+    #[test]
+    fn sim_threads_bit_identical_mcm_multi_kernel() {
+        use crate::chiplet::ChipletConfig;
+        let spec = || {
+            PatternSpec::new(PatternKind::GlobalSweep { passes: 1 }, 30_000).compute_per_mem(1.0)
+        };
+        let wl = Workload::new(
+            "m-seq",
+            14,
+            vec![
+                Kernel::new("k0", 384, 256, spec()),
+                Kernel::new("k1", 8, 256, spec()),
+                Kernel::new("k2", 384, 256, spec()),
+            ],
+        );
+        let mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let serial = Simulator::new_mcm(&mcm, &wl).run();
+        for threads in [2u32, 4, 8] {
             let mut m = mcm.clone();
             m.chiplet.sim_threads = threads;
             let parallel = Simulator::new_mcm(&m, &wl).run();
@@ -760,5 +1056,107 @@ mod tests {
         c.sim_threads = 0;
         let zero = Simulator::new(c, &wl).run();
         serial.assert_deterministic_eq(&zero);
+    }
+
+    #[test]
+    fn mem_shards_are_part_of_the_simulated_machine() {
+        // Different partition counts interleave lines differently, so
+        // they are different (but internally deterministic) machines;
+        // the 64-SM model has 8 MCs, so shard counts 1 vs 8 diverge.
+        let wl = sweep_workload(60_000, 1, 256);
+        let mut one = small_cfg(64);
+        one.mem_shards = 1;
+        let s1 = Simulator::new(one.clone(), &wl).run();
+        let s8 = Simulator::new(small_cfg(64), &wl).run();
+        assert_eq!(s1.warp_instrs, s8.warp_instrs);
+        assert_ne!(s1.cycles, s8.cycles, "partitioning must change timing");
+        // ... and each is still thread-invariant.
+        assert_thread_invariant(&one, &wl);
+    }
+
+    // ---- bounded-slack relaxed sync (DESIGN.md §15) ----
+
+    #[test]
+    fn sync_slack_zero_is_byte_identical_to_default() {
+        let wl = sweep_workload(20_000, 2, 48);
+        let base = Simulator::new(small_cfg(8), &wl).run();
+        let mut c = small_cfg(8);
+        c.sync_slack = 0;
+        c.sim_threads = 4;
+        let relaxed_off = Simulator::new(c, &wl).run();
+        base.assert_deterministic_eq(&relaxed_off);
+    }
+
+    #[test]
+    fn sync_slack_is_thread_count_invariant() {
+        // Relaxed mode is *still* deterministic for a fixed slack: the
+        // window structure does not depend on the host thread count.
+        let wl = sweep_workload(60_000, 2, 96);
+        for slack in [4u32, 16] {
+            let mut c = small_cfg(8);
+            c.sync_slack = slack;
+            let serial = Simulator::new(c.clone(), &wl).run();
+            for threads in [2u32, 4] {
+                let mut ct = c.clone();
+                ct.sim_threads = threads;
+                let parallel = Simulator::new(ct, &wl).run();
+                serial.assert_deterministic_eq(&parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_slack_error_stays_within_envelope() {
+        // The accuracy contract of DESIGN.md §15: predicted cycles under
+        // slack in {4, 16, 64} stay within 5% of the exact run, and all
+        // work is still executed.
+        let workloads = [
+            sweep_workload(60_000, 2, 96),
+            sweep_workload(1_500, 8, 48),
+            {
+                let spec = PatternSpec::new(PatternKind::PointerChase, 30_000)
+                    .mem_ops_per_warp(16)
+                    .compute_per_mem(1.0);
+                Workload::new("pc", 7, vec![Kernel::new("k", 64, 256, spec)])
+            },
+        ];
+        for wl in &workloads {
+            let exact = Simulator::new(small_cfg(8), wl).run();
+            for slack in [4u32, 16, 64] {
+                let mut c = small_cfg(8);
+                c.sync_slack = slack;
+                let relaxed = Simulator::new(c, wl).run();
+                assert_eq!(relaxed.warp_instrs, exact.warp_instrs);
+                assert_eq!(relaxed.ctas_executed, exact.ctas_executed);
+                assert_eq!(relaxed.kernels_executed, exact.kernels_executed);
+                let err = (relaxed.cycles as f64 - exact.cycles as f64).abs() / exact.cycles as f64;
+                assert!(
+                    err <= 0.05,
+                    "slack {slack} drifted {:.2}% on {} ({} vs {} cycles)",
+                    err * 100.0,
+                    wl.name(),
+                    relaxed.cycles,
+                    exact.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_slack_mcm_runs_to_completion() {
+        use crate::chiplet::ChipletConfig;
+        let spec = PatternSpec::new(PatternKind::PointerChase, 20_000)
+            .mem_ops_per_warp(10)
+            .compute_per_mem(1.0);
+        let wl = Workload::new("m", 12, vec![Kernel::new("k", 512, 256, spec)]);
+        let mut mcm = ChipletConfig::paper_mcm(2, MemScale::default());
+        let exact = Simulator::new_mcm(&mcm, &wl).run();
+        mcm.chiplet.sync_slack = 16;
+        mcm.chiplet.sim_threads = 4;
+        let relaxed = Simulator::new_mcm(&mcm, &wl).run();
+        assert_eq!(relaxed.warp_instrs, exact.warp_instrs);
+        assert_eq!(relaxed.ctas_executed, exact.ctas_executed);
+        let err = (relaxed.cycles as f64 - exact.cycles as f64).abs() / exact.cycles as f64;
+        assert!(err <= 0.05, "MCM slack drift {:.2}%", err * 100.0);
     }
 }
