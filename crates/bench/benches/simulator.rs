@@ -17,10 +17,11 @@ use std::cell::Cell;
 use std::time::Duration;
 
 use gsim_bench::tinybench::{fast_mode, Group, JsonReport};
+use gsim_multigpu::{Placement, SystemConfig, SystemSim, Tenant};
 use gsim_sim::{GpuConfig, Simulator};
 use gsim_trace::suite::strong_benchmark;
 use gsim_trace::weak::weak_benchmark;
-use gsim_trace::{Kernel, MemScale, PatternKind, PatternSpec, Workload};
+use gsim_trace::{DagParams, Kernel, MemScale, PatternKind, PatternSpec, Workload};
 
 fn scale() -> MemScale {
     MemScale::new(32)
@@ -140,10 +141,77 @@ fn parallel_64sm_membound(rep: &mut JsonReport) {
     );
 }
 
+/// The multi-GPU system model (DESIGN.md §16) as a strong-scaling family
+/// over the GPU count: the same two-tenant DAG mix on 2/4/8 GPUs of
+/// 8 SMs each (each record past the 2-GPU baseline carries its speedup),
+/// plus one 4-GPU run under read replication so placement-policy cost is
+/// diffable too.
+fn multigpu_strong_scaling(rep: &mut JsonReport) {
+    let sc = scale();
+    let params = DagParams {
+        n_kernels: if fast_mode() { 3 } else { 6 },
+        max_ctas: if fast_mode() { 24 } else { 64 },
+        min_footprint_lines: 1 << 10,
+        max_footprint_lines: 1 << 13,
+        ..DagParams::default()
+    };
+    let tenants: Vec<Tenant> = (0..2)
+        .map(|i| Tenant::generate(format!("tenant{i}"), 8800 + i, &params))
+        .collect();
+    let g = Group::new("multigpu_strong").samples(samples());
+    let run = |cfg: &SystemConfig| SystemSim::new(cfg.clone(), &tenants).run();
+    let mut g2 = None;
+    for n_gpus in [2u32, 4, 8] {
+        let cfg = SystemConfig::paper_node(n_gpus, 8, sc);
+        let cycles = Cell::new(0u64);
+        let Some(median) = g.bench(&format!("g{n_gpus}"), || {
+            let report = run(&cfg);
+            cycles.set(report.stats.cycles);
+            report
+        }) else {
+            continue;
+        };
+        let speedup = g2
+            .filter(|_| n_gpus > 2 && !median.is_zero())
+            .map(|base: Duration| base.as_secs_f64() / median.as_secs_f64());
+        rep.record_multigpu(
+            format!("multigpu_strong/g{n_gpus}"),
+            median,
+            1,
+            n_gpus,
+            cfg.placement.as_str(),
+            Some(cycles.get()),
+            speedup,
+        );
+        if n_gpus == 2 {
+            g2 = Some(median);
+        }
+    }
+    let mut cfg = SystemConfig::paper_node(4, 8, sc);
+    cfg.placement = Placement::ReadReplicate;
+    let cycles = Cell::new(0u64);
+    if let Some(median) = g.bench("g4_replicate", || {
+        let report = run(&cfg);
+        cycles.set(report.stats.cycles);
+        report
+    }) {
+        rep.record_multigpu(
+            "multigpu_strong/g4_replicate",
+            median,
+            1,
+            4,
+            cfg.placement.as_str(),
+            Some(cycles.get()),
+            None,
+        );
+    }
+}
+
 fn main() {
     let mut rep = JsonReport::for_target("simulator");
     strong_scaling_cost(&mut rep);
     weak_scaling_cost(&mut rep);
     parallel_64sm_membound(&mut rep);
+    multigpu_strong_scaling(&mut rep);
     rep.write();
 }

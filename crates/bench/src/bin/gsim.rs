@@ -20,6 +20,11 @@
 //!            [--default-deadline-ms N] [--max-inflight-predicts N]
 //!            [--max-inflight-cheap N] [--degrade-threshold N]
 //!            [--drain-grace-ms N] [--fast-path-gate X] [--fault-plan SPEC]
+//! gsim multigpu [--gpus N] [--sms N] [--scale D] [--topology ring|full]
+//!               [--placement first-touch|interleave|replicate] [--link-gbs X]
+//!               [--link-latency C] [--tenants N] [--dag-kernels N] [--seed S]
+//!               [--sharing K] [--page-lines L] [--sim-threads N]
+//!               [--assert-determinism] [--validate [--smoke]]
 //! ```
 //!
 //! `run` simulates a Table II benchmark (or, with `--weak`, the Table IV
@@ -63,6 +68,19 @@
 //! non-zero if the assertion trips). The run summary prints the effective
 //! phase-B mode: owner-sharded, or the serial fallback when
 //! `--sim-threads 1`.
+//!
+//! `multigpu` runs the multi-GPU system model (DESIGN.md §16): `--gpus`
+//! GPUs of `--sms` SMs each, connected by a `--topology` fabric of
+//! `--link-gbs` GB/s links with `--link-latency` cycles per hop, running
+//! `--tenants` concurrent tenants whose workloads are deterministic
+//! kernel-dependency DAGs of `--dag-kernels` kernels seeded by `--seed`.
+//! `--placement` picks the page-placement policy, `--sharing K` splits
+//! each GPU into K MIG-style kernel slots, and `--page-lines` sets the
+//! page granularity. `--assert-determinism` re-runs the system serially
+//! and asserts bit-identical aggregate stats. `--validate` runs the
+//! scale-model validation experiment instead: the five predictors are
+//! fitted on 1- and 2-GPU system runs and forecast 4/8/16 GPUs (just
+//! 4 with `--smoke`), each checked against an actual run.
 //!
 //! `serve`'s overload knobs (DESIGN.md §13): `--default-deadline-ms`
 //! bounds every predict unless the request's `X-Gsim-Deadline-Ms` header
@@ -108,9 +126,68 @@ fn usage() -> ! {
          gsim serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--store DIR] \
          [--runner-threads N] [--default-deadline-ms N] [--max-inflight-predicts N] \
          [--max-inflight-cheap N] [--degrade-threshold N] [--drain-grace-ms N] \
-         [--fast-path-gate X] [--fault-plan SPEC]"
+         [--fast-path-gate X] [--fault-plan SPEC]\n  \
+         gsim multigpu [--gpus N] [--sms N] [--scale D] [--topology ring|full] \
+         [--placement first-touch|interleave|replicate] [--link-gbs X] [--link-latency C] \
+         [--tenants N] [--dag-kernels N] [--seed S] [--sharing K] [--page-lines L] \
+         [--sim-threads N] [--assert-determinism] [--validate [--smoke]]"
     );
     exit(2)
+}
+
+// ---------------------------------------------------------------------
+// Shared usage-style flag validation. Every helper consumes the flag's
+// value from the argument iterator and, on garbage, prints a one-line
+// message and exits 2 — so subcommands never copy-paste the pattern.
+
+type ArgIter<'a> = std::slice::Iter<'a, String>;
+
+/// The flag's value as a string; `what` names the expected shape.
+fn flag_str(it: &mut ArgIter<'_>, name: &str, what: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("{name} takes {what}");
+        exit(2)
+    })
+}
+
+/// A non-negative integer (rejects garbage and negatives via u32 parse).
+fn flag_u32(it: &mut ArgIter<'_>, name: &str) -> u32 {
+    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{name} takes an integer");
+        exit(2)
+    })
+}
+
+/// An integer with a lower bound.
+fn flag_u32_min(it: &mut ArgIter<'_>, name: &str, min: u32) -> u32 {
+    let v = flag_u32(it, name);
+    if v < min {
+        eprintln!("{name} must be >= {min}");
+        exit(2)
+    }
+    v
+}
+
+/// A float accepted by `ok`; `hint` names the expected shape.
+fn flag_f64(it: &mut ArgIter<'_>, name: &str, hint: &str, ok: impl Fn(f64) -> bool) -> f64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .filter(|g: &f64| ok(*g))
+        .unwrap_or_else(|| {
+            eprintln!("{name} takes {hint}");
+            exit(2)
+        })
+}
+
+/// One of a fixed set of spellings.
+fn flag_choice(it: &mut ArgIter<'_>, name: &str, options: &[&str]) -> String {
+    match it.next().map(String::as_str) {
+        Some(v) if options.contains(&v) => v.to_string(),
+        _ => {
+            eprintln!("{name} takes one of: {}", options.join(", "));
+            exit(2)
+        }
+    }
 }
 
 struct Flags {
@@ -139,6 +216,19 @@ struct Flags {
     fast_path_gate: f64,
     path: String,
     fault_plan: Option<String>,
+    // gsim multigpu
+    gpus: u32,
+    topology: String,
+    placement: String,
+    link_gbs: f64,
+    link_latency: u32,
+    tenants: u32,
+    dag_kernels: u32,
+    seed: u64,
+    sharing: u32,
+    page_lines: u64,
+    validate: bool,
+    smoke: bool,
     positional: Vec<String>,
 }
 
@@ -169,104 +259,100 @@ fn parse(args: &[String]) -> Flags {
         fast_path_gate: 0.0,
         path: "auto".to_string(),
         fault_plan: None,
+        gpus: 2,
+        topology: "ring".to_string(),
+        placement: "interleave".to_string(),
+        link_gbs: 300.0,
+        link_latency: 400,
+        tenants: 2,
+        dag_kernels: 4,
+        seed: 42,
+        sharing: 1,
+        page_lines: 16,
+        validate: false,
+        smoke: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut num = |name: &str| -> u32 {
-            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{name} takes an integer");
-                exit(2)
-            })
-        };
         match a.as_str() {
-            "--sms" => f.sms = num("--sms"),
-            "--chiplets" => f.chiplets = num("--chiplets"),
-            "--scale" => f.scale = MemScale::new(num("--scale")),
-            "--banked-dram" => f.banked_dram = num("--banked-dram"),
-            "--threads" => f.threads = Some(num("--threads") as usize),
-            "--runner-threads" => f.runner_threads = num("--runner-threads") as usize,
-            "--sim-threads" => {
-                f.sim_threads = num("--sim-threads");
-                if f.sim_threads == 0 {
-                    eprintln!("--sim-threads must be >= 1");
-                    exit(2)
-                }
-            }
-            // `num` already exits 2 on negatives and garbage (u32 parse).
-            "--sync-slack" => f.sync_slack = num("--sync-slack"),
+            "--sms" => f.sms = flag_u32(&mut it, "--sms"),
+            "--chiplets" => f.chiplets = flag_u32(&mut it, "--chiplets"),
+            "--scale" => f.scale = MemScale::new(flag_u32(&mut it, "--scale")),
+            "--banked-dram" => f.banked_dram = flag_u32(&mut it, "--banked-dram"),
+            "--threads" => f.threads = Some(flag_u32(&mut it, "--threads") as usize),
+            "--runner-threads" => f.runner_threads = flag_u32(&mut it, "--runner-threads") as usize,
+            "--sim-threads" => f.sim_threads = flag_u32_min(&mut it, "--sim-threads", 1),
+            // u32 parse already exits 2 on negatives and garbage.
+            "--sync-slack" => f.sync_slack = flag_u32(&mut it, "--sync-slack"),
             "--assert-determinism" => f.assert_determinism = true,
             "--weak" => f.weak = true,
-            "--addr" => match it.next() {
-                Some(a) => f.addr = a.clone(),
-                None => {
-                    eprintln!("--addr takes HOST:PORT");
-                    exit(2)
-                }
-            },
-            "--cache-dir" => match it.next() {
-                Some(d) => f.cache_dir = Some(d.clone()),
-                None => {
-                    eprintln!("--cache-dir takes a directory");
-                    exit(2)
-                }
-            },
-            "--store" => match it.next() {
-                Some(d) => f.store = Some(d.clone()),
-                None => {
-                    eprintln!("--store takes a directory");
-                    exit(2)
-                }
-            },
+            "--addr" => f.addr = flag_str(&mut it, "--addr", "HOST:PORT"),
+            "--cache-dir" => f.cache_dir = Some(flag_str(&mut it, "--cache-dir", "a directory")),
+            "--store" => f.store = Some(flag_str(&mut it, "--store", "a directory")),
             "--format" => {
-                f.format = num("--format") as u8;
-                if !matches!(f.format, 1 | 2) {
-                    eprintln!("--format must be 1 or 2");
-                    exit(2)
-                }
+                f.format = flag_choice(&mut it, "--format", &["1", "2"])
+                    .parse()
+                    .expect("validated")
             }
             "--max-trace-mb" => {
-                f.max_trace_mb = u64::from(num("--max-trace-mb"));
-                if f.max_trace_mb == 0 {
-                    eprintln!("--max-trace-mb must be >= 1");
-                    exit(2)
-                }
+                f.max_trace_mb = u64::from(flag_u32_min(&mut it, "--max-trace-mb", 1))
             }
             "--mrc" => f.mrc = true,
             "-o" | "--output" => f.output = it.next().cloned(),
             "--default-deadline-ms" => {
-                f.default_deadline_ms = u64::from(num("--default-deadline-ms"))
+                f.default_deadline_ms = u64::from(flag_u32(&mut it, "--default-deadline-ms"))
             }
             "--max-inflight-predicts" => {
-                f.max_inflight_predicts = num("--max-inflight-predicts") as usize;
+                f.max_inflight_predicts = flag_u32(&mut it, "--max-inflight-predicts") as usize;
             }
-            "--max-inflight-cheap" => f.max_inflight_cheap = num("--max-inflight-cheap") as usize,
-            "--degrade-threshold" => f.degrade_threshold = num("--degrade-threshold") as usize,
-            "--drain-grace-ms" => f.drain_grace_ms = u64::from(num("--drain-grace-ms")),
+            "--max-inflight-cheap" => {
+                f.max_inflight_cheap = flag_u32(&mut it, "--max-inflight-cheap") as usize
+            }
+            "--degrade-threshold" => {
+                f.degrade_threshold = flag_u32(&mut it, "--degrade-threshold") as usize
+            }
+            "--drain-grace-ms" => {
+                f.drain_grace_ms = u64::from(flag_u32(&mut it, "--drain-grace-ms"))
+            }
             "--fast-path-gate" => {
-                f.fast_path_gate = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|g: &f64| *g >= 0.0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--fast-path-gate takes a non-negative number (or inf)");
-                        exit(2)
-                    });
+                f.fast_path_gate = flag_f64(
+                    &mut it,
+                    "--fast-path-gate",
+                    "a non-negative number (or inf)",
+                    |g| g >= 0.0,
+                );
             }
-            "--path" => match it.next().map(String::as_str) {
-                Some(p @ ("auto" | "fast" | "full")) => f.path = p.to_string(),
-                _ => {
-                    eprintln!("--path takes auto, fast, or full");
-                    exit(2)
-                }
-            },
-            "--fault-plan" => match it.next() {
-                Some(spec) => f.fault_plan = Some(spec.clone()),
-                None => {
-                    eprintln!("--fault-plan takes a spec, e.g. seed=42,http_delay_p=0.05");
-                    exit(2)
-                }
-            },
+            "--path" => f.path = flag_choice(&mut it, "--path", &["auto", "fast", "full"]),
+            "--fault-plan" => {
+                f.fault_plan = Some(flag_str(
+                    &mut it,
+                    "--fault-plan",
+                    "a spec, e.g. seed=42,http_delay_p=0.05",
+                ))
+            }
+            "--gpus" => f.gpus = flag_u32_min(&mut it, "--gpus", 1),
+            "--topology" => f.topology = flag_choice(&mut it, "--topology", &["ring", "full"]),
+            "--placement" => {
+                f.placement = flag_choice(
+                    &mut it,
+                    "--placement",
+                    &["first-touch", "interleave", "replicate"],
+                )
+            }
+            "--link-gbs" => {
+                f.link_gbs = flag_f64(&mut it, "--link-gbs", "a positive number", |g| {
+                    g > 0.0 && g.is_finite()
+                })
+            }
+            "--link-latency" => f.link_latency = flag_u32(&mut it, "--link-latency"),
+            "--tenants" => f.tenants = flag_u32_min(&mut it, "--tenants", 1),
+            "--dag-kernels" => f.dag_kernels = flag_u32_min(&mut it, "--dag-kernels", 1),
+            "--seed" => f.seed = u64::from(flag_u32(&mut it, "--seed")),
+            "--sharing" => f.sharing = flag_u32_min(&mut it, "--sharing", 1),
+            "--page-lines" => f.page_lines = u64::from(flag_u32_min(&mut it, "--page-lines", 1)),
+            "--validate" => f.validate = true,
+            "--smoke" => f.smoke = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -342,6 +428,115 @@ fn print_stats(label: &str, st: &SimStats) {
     );
     println!("  simulated in      {:>12.2} s", st.sim_wall_seconds);
     println!("  sim cycles/sec    {:>14.0}", st.sim_cycles_per_second());
+}
+
+/// `gsim multigpu`: runs the multi-GPU system model, or the scale-model
+/// validation experiment with `--validate` (DESIGN.md §16).
+fn cmd_multigpu(f: &Flags) {
+    use gsim_multigpu::{validate_scaling, Placement, SystemConfig, SystemSim, Tenant, Topology};
+    use gsim_trace::DagParams;
+
+    let mut gpu = GpuConfig::paper_target(f.sms, f.scale);
+    gpu.dram_banks_per_mc = f.banked_dram;
+    gpu.sim_threads = f.sim_threads;
+    gpu.sync_slack = f.sync_slack;
+    let cfg = SystemConfig {
+        n_gpus: f.gpus,
+        gpu,
+        topology: Topology::parse(&f.topology).expect("validated by --topology"),
+        link_gbs: f.link_gbs,
+        link_latency: f.link_latency,
+        placement: Placement::parse(&f.placement).expect("validated by --placement"),
+        page_lines: f.page_lines,
+        sharing: f.sharing,
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        exit(2)
+    }
+    let params = DagParams {
+        n_kernels: f.dag_kernels,
+        ..DagParams::default()
+    };
+    let tenants: Vec<Tenant> = (0..f.tenants)
+        .map(|i| {
+            Tenant::generate(
+                format!("tenant{i}"),
+                f.seed.wrapping_add(u64::from(i)),
+                &params,
+            )
+        })
+        .collect();
+
+    if f.validate {
+        let targets: &[u32] = if f.smoke { &[4] } else { &[4, 8, 16] };
+        let report = validate_scaling(&cfg, &tenants, (1, 2), targets).unwrap_or_else(|e| {
+            eprintln!("validation failed: {e}");
+            exit(1)
+        });
+        let (small, large) = &report.observations;
+        println!(
+            "multi-GPU scale-model validation ({}, {}, {}-SM GPUs, {} tenants x {} kernels):",
+            cfg.topology.as_str(),
+            cfg.placement.as_str(),
+            f.sms,
+            f.tenants,
+            f.dag_kernels
+        );
+        println!(
+            "  fit: {} GPU IPC {:.1} (f_mem {:.2}); {} GPUs IPC {:.1} (f_mem {:.2})",
+            small.size, small.ipc, small.f_mem, large.size, large.ipc, large.f_mem
+        );
+        for t in &report.targets {
+            println!(
+                "  {} GPUs, actual sustained IPC {:.1}:",
+                t.n_gpus, t.actual_ipc
+            );
+            for m in &t.methods {
+                println!(
+                    "    {:<14} {:>10.1}  {:>+7.1}%",
+                    m.method, m.predicted_ipc, m.pct_error
+                );
+            }
+        }
+        return;
+    }
+
+    let report = SystemSim::new(cfg.clone(), &tenants).run();
+    print_stats(
+        &format!(
+            "{} GPUs x {} SMs ({}, {}, {} tenants, {})",
+            f.gpus,
+            f.sms,
+            cfg.topology.as_str(),
+            cfg.placement.as_str(),
+            f.tenants,
+            f.scale
+        ),
+        &report.stats,
+    );
+    println!("  phase B           {}", phase_b_mode(&cfg.gpu));
+    println!("  fabric transfers  {:>14}", report.fabric.transfers);
+    println!("  fabric bytes      {:>14}", report.fabric.link_bytes);
+    println!("  fabric queue cyc  {:>14.0}", report.fabric.queue_cycles);
+    let slots = u64::from(cfg.sharing);
+    for (g, &busy) in report.gpu_busy_cycles.iter().enumerate() {
+        println!(
+            "  gpu{g} busy         {:>13.1}%",
+            busy as f64 / (report.stats.cycles.max(1) * slots) as f64 * 100.0
+        );
+    }
+    if f.assert_determinism {
+        let mut serial = cfg.clone();
+        serial.gpu.sim_threads = 1;
+        let base = SystemSim::new(serial, &tenants).run();
+        base.stats.assert_deterministic_eq(&report.stats);
+        println!(
+            "determinism: t{} bit-identical to t1 ({} cycles)",
+            cfg.gpu.sim_threads.max(1),
+            report.stats.cycles
+        );
+    }
 }
 
 /// Exit code for a trace decode failure. Each failure class gets its own
@@ -593,6 +788,7 @@ fn main() {
                 check_determinism(&cfg, &wl, &st);
             }
         }
+        "multigpu" => cmd_multigpu(&f),
         "sweep" => {
             let name = f.positional.first().unwrap_or_else(|| usage());
             // One simulation job per system size, run on the worker pool.

@@ -167,6 +167,11 @@ pub struct Record {
     /// Simulated cycles per wall-clock second, for simulator benches
     /// (`None` for benches that do not run the timing simulator).
     pub cycles_per_second: Option<f64>,
+    /// GPUs the measured run simulated (1 = single-package runs).
+    pub n_gpus: u32,
+    /// Page-placement policy of a multi-GPU run (`None` for
+    /// single-package runs).
+    pub placement: Option<String>,
 }
 
 /// Collects [`Record`]s and writes them as `BENCH_<target>.json` at the
@@ -180,7 +185,8 @@ pub struct Record {
 ///   "records": [
 ///     {"name": "g/t2", "median_ns": 12, "sim_threads": 2,
 ///      "sync_slack": 0, "oversubscribed": false,
-///      "speedup_vs_t1": 1.8, "cycles_per_second": 3.1e6}
+///      "speedup_vs_t1": 1.8, "cycles_per_second": 3.1e6,
+///      "n_gpus": 1, "placement": null}
 ///   ]
 /// }
 /// ```
@@ -237,6 +243,56 @@ impl JsonReport {
         cycles: Option<u64>,
         speedup_vs_t1: Option<f64>,
     ) {
+        self.push(
+            name,
+            median,
+            sim_threads,
+            sync_slack,
+            cycles,
+            speedup_vs_t1,
+            1,
+            None,
+        );
+    }
+
+    /// Adds one multi-GPU system result: like [`JsonReport::record_scaled`]
+    /// but carrying the system shape (GPU count and placement policy) so
+    /// strong-scaling families over GPUs are diffable by identity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_multigpu(
+        &mut self,
+        name: impl Into<String>,
+        median: Duration,
+        sim_threads: u32,
+        n_gpus: u32,
+        placement: &str,
+        cycles: Option<u64>,
+        speedup_vs_t1: Option<f64>,
+    ) {
+        self.push(
+            name,
+            median,
+            sim_threads,
+            0,
+            cycles,
+            speedup_vs_t1,
+            n_gpus,
+            Some(placement.to_string()),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        name: impl Into<String>,
+        median: Duration,
+        sim_threads: u32,
+        sync_slack: u32,
+        cycles: Option<u64>,
+        speedup_vs_t1: Option<f64>,
+        n_gpus: u32,
+        placement: Option<String>,
+    ) {
         let secs = median.as_secs_f64();
         let cpus = host_logical_cpus();
         let oversubscribed = cpus > 0 && sim_threads as usize > cpus;
@@ -250,6 +306,8 @@ impl JsonReport {
             cycles_per_second: cycles
                 .filter(|_| secs > 0.0 && !oversubscribed)
                 .map(|c| c as f64 / secs),
+            n_gpus,
+            placement,
         });
     }
 
@@ -270,7 +328,8 @@ impl JsonReport {
             out.push_str(&format!(
                 "\n    {{\"name\": {}, \"median_ns\": {}, \"sim_threads\": {}, \
                  \"sync_slack\": {}, \"oversubscribed\": {}, \
-                 \"speedup_vs_t1\": {}, \"cycles_per_second\": {}}}",
+                 \"speedup_vs_t1\": {}, \"cycles_per_second\": {}, \
+                 \"n_gpus\": {}, \"placement\": {}}}",
                 gsim_json::json_string(&r.name),
                 r.median_ns.map_or_else(|| "null".into(), |n| n.to_string()),
                 r.sim_threads,
@@ -283,7 +342,11 @@ impl JsonReport {
                 match r.cycles_per_second {
                     Some(c) if c.is_finite() => format!("{c:.1}"),
                     _ => "null".into(),
-                }
+                },
+                r.n_gpus,
+                r.placement
+                    .as_deref()
+                    .map_or_else(|| "null".into(), gsim_json::json_string),
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -405,6 +468,37 @@ mod tests {
         assert!(json.contains("\"sync_slack\": 16,"));
         assert!(json.contains("\"speedup_vs_t1\": 1.500,"));
         assert!(json.contains("\"cycles_per_second\": 2000000000.0"));
+    }
+
+    #[test]
+    fn multigpu_records_carry_the_system_shape() {
+        let mut rep = JsonReport::for_target("test");
+        rep.record("g/single", Duration::from_micros(3), 1, Some(6_000));
+        rep.record_multigpu(
+            "g/g4",
+            Duration::from_micros(4),
+            1,
+            4,
+            "interleave",
+            Some(8_000),
+            Some(2.5),
+        );
+        let json = rep.render();
+        let doc = gsim_json::parse(&json).expect("report is valid JSON");
+        let records = doc
+            .get("records")
+            .and_then(gsim_json::Json::as_arr)
+            .unwrap();
+        // Single-package records keep the single-GPU identity.
+        assert_eq!(records[0].get("n_gpus").unwrap().as_u64(), Some(1));
+        assert!(matches!(records[0].get("placement"), Some(Json::Null)));
+        // Multi-GPU records carry the system shape.
+        assert_eq!(records[1].get("n_gpus").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            records[1].get("placement").and_then(Json::as_str),
+            Some("interleave")
+        );
+        assert!(json.contains("\"speedup_vs_t1\": 2.500,"));
     }
 
     #[test]

@@ -205,6 +205,116 @@ fn gsim_rejects_zero_sim_threads() {
 }
 
 #[test]
+fn gsim_multigpu_runs_and_is_thread_invariant() {
+    let out = gsim(&[
+        "multigpu",
+        "--gpus",
+        "2",
+        "--sms",
+        "8",
+        "--scale",
+        "64",
+        "--dag-kernels",
+        "2",
+        "--sim-threads",
+        "2",
+        "--assert-determinism",
+    ]);
+    assert!(out.status.success(), "multigpu run failed: {out:?}");
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("fabric bytes"), "{stdout}");
+    assert!(
+        stdout.contains("determinism: t2 bit-identical to t1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn gsim_multigpu_placement_changes_fabric_traffic() {
+    let bytes_of = |placement: &str| -> u64 {
+        let out = gsim(&[
+            "multigpu",
+            "--gpus",
+            "2",
+            "--sms",
+            "8",
+            "--scale",
+            "64",
+            "--dag-kernels",
+            "2",
+            "--placement",
+            placement,
+        ]);
+        assert!(out.status.success(), "{placement} run failed: {out:?}");
+        stdout_of(&out)
+            .lines()
+            .find(|l| l.trim_start().starts_with("fabric bytes"))
+            .expect("fabric bytes line")
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .expect("fabric bytes is an integer")
+    };
+    let interleave = bytes_of("interleave");
+    let replicate = bytes_of("replicate");
+    assert!(interleave > 0, "interleave placement must cross the fabric");
+    assert!(
+        replicate < interleave,
+        "read replication ({replicate}) should move fewer bytes than interleave ({interleave})"
+    );
+}
+
+#[test]
+fn gsim_multigpu_validate_smoke_prints_all_predictors() {
+    let out = gsim(&[
+        "multigpu",
+        "--validate",
+        "--smoke",
+        "--sms",
+        "8",
+        "--scale",
+        "64",
+        "--dag-kernels",
+        "2",
+    ]);
+    assert!(out.status.success(), "validate smoke failed: {out:?}");
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("scale-model validation"), "{stdout}");
+    assert!(stdout.contains("4 GPUs"), "{stdout}");
+    for method in [
+        "logarithmic",
+        "proportional",
+        "linear",
+        "power-law",
+        "scale-model",
+    ] {
+        assert!(stdout.contains(method), "missing {method}: {stdout}");
+    }
+}
+
+#[test]
+fn gsim_multigpu_rejects_flag_garbage_with_exit_2() {
+    for args in [
+        ["multigpu", "--gpus", "0"],
+        ["multigpu", "--gpus", "two"],
+        ["multigpu", "--topology", "mesh"],
+        ["multigpu", "--placement", "numa"],
+        ["multigpu", "--link-gbs", "0"],
+        ["multigpu", "--link-gbs", "fast"],
+        ["multigpu", "--sync-slack", "lots"],
+        ["multigpu", "--tenants", "0"],
+        ["multigpu", "--page-lines", "0"],
+    ] {
+        let out = gsim(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+    }
+    // --sharing must divide the per-GPU SM count.
+    let out = gsim(&["multigpu", "--sms", "8", "--sharing", "3"]);
+    assert_eq!(out.status.code(), Some(2), "indivisible sharing");
+}
+
+#[test]
 fn repro_rejects_zero_sim_threads() {
     let out = repro(&["--sim-threads", "0", "table1"]);
     assert_eq!(out.status.code(), Some(2));

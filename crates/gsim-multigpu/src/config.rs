@@ -1,0 +1,233 @@
+//! Multi-GPU system configuration.
+
+use gsim_sim::GpuConfig;
+use gsim_trace::MemScale;
+
+/// Inter-GPU link topology (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Bidirectional ring: each GPU has one egress link per direction;
+    /// remote traffic takes the shorter arc and charges every link it
+    /// crosses, so bisection pressure grows with system size.
+    Ring,
+    /// Fully connected: one dedicated link per ordered GPU pair, a single
+    /// hop for any remote access (NVSwitch-style).
+    FullyConnected,
+}
+
+impl Topology {
+    /// Parses the CLI/serve spelling (`ring` / `full`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring" => Some(Self::Ring),
+            "full" | "fully-connected" => Some(Self::FullyConnected),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, the inverse of [`Topology::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Ring => "ring",
+            Self::FullyConnected => "full",
+        }
+    }
+}
+
+/// Page-granularity data placement policy (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// A page is owned by the GPU whose kernel touches it first; later
+    /// accesses from other GPUs go over the fabric.
+    FirstTouch,
+    /// Pages are round-robin interleaved across GPUs, so a fraction
+    /// `(n-1)/n` of every kernel's traffic is remote.
+    Interleave,
+    /// Read replication: pages are owned first-touch, reads are served
+    /// from a local replica everywhere, and only the store share of the
+    /// traffic crosses the fabric to the owner.
+    ReadReplicate,
+}
+
+impl Placement {
+    /// Parses the CLI/serve spelling
+    /// (`first-touch` / `interleave` / `replicate`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "first-touch" => Some(Self::FirstTouch),
+            "interleave" => Some(Self::Interleave),
+            "replicate" | "read-replicate" => Some(Self::ReadReplicate),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, the inverse of [`Placement::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::FirstTouch => "first-touch",
+            Self::Interleave => "interleave",
+            Self::ReadReplicate => "replicate",
+        }
+    }
+}
+
+/// A system of `n_gpus` identical GPUs joined by an inter-GPU fabric.
+///
+/// Each GPU is a full [`GpuConfig`] simulated by the existing engine; the
+/// system layer adds the link topology, the page placement policy that
+/// decides which LLC-miss traffic leaves the package, and MIG-style static
+/// sharing that splits each GPU into `sharing` equal kernel slots for
+/// multi-tenant runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of GPUs in the system.
+    pub n_gpus: u32,
+    /// Per-GPU configuration (identical across the system).
+    pub gpu: GpuConfig,
+    /// Inter-GPU link topology.
+    pub topology: Topology,
+    /// Per-link bandwidth in GB/s (per direction).
+    pub link_gbs: f64,
+    /// Fixed per-hop link latency in cycles.
+    pub link_latency: u32,
+    /// Page placement policy.
+    pub placement: Placement,
+    /// Page size in 128 B cache lines.
+    pub page_lines: u64,
+    /// Kernel slots per GPU (MIG-style static partition): each slot gets
+    /// `n_sms / sharing` SMs and a proportional share of the shared
+    /// resources. Must divide `gpu.n_sms`.
+    pub sharing: u32,
+}
+
+impl SystemConfig {
+    /// A paper-style multi-GPU node: `n_gpus` proportionally scaled
+    /// per-GPU configs of `sms_per_gpu` SMs each, joined by 300 GB/s
+    /// NVLink-class links (ring topology, 400-cycle hop latency), 2 KiB
+    /// pages, interleaved placement, one kernel slot per GPU.
+    pub fn paper_node(n_gpus: u32, sms_per_gpu: u32, scale: MemScale) -> Self {
+        Self {
+            n_gpus,
+            gpu: GpuConfig::paper_target(sms_per_gpu, scale),
+            topology: Topology::Ring,
+            link_gbs: 300.0,
+            link_latency: 400,
+            placement: Placement::Interleave,
+            page_lines: 16,
+            sharing: 1,
+        }
+    }
+
+    /// Validates the configuration, returning a human-readable error.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any field is out of range (no GPUs, non-positive
+    /// link bandwidth, empty pages, or a sharing factor that does not
+    /// divide the SM count).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_gpus == 0 {
+            return Err("system needs at least one GPU".into());
+        }
+        if !(self.link_gbs > 0.0 && self.link_gbs.is_finite()) {
+            return Err(format!(
+                "link bandwidth must be positive and finite, got {}",
+                self.link_gbs
+            ));
+        }
+        if self.page_lines == 0 {
+            return Err("page size must be at least one line".into());
+        }
+        if self.sharing == 0 {
+            return Err("sharing must be at least 1".into());
+        }
+        if !self.gpu.n_sms.is_multiple_of(self.sharing) {
+            return Err(format!(
+                "sharing {} does not divide {} SMs per GPU",
+                self.sharing, self.gpu.n_sms
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-slot GPU configuration: the full GPU for `sharing == 1`,
+    /// else a proportional `n_sms / sharing` partition.
+    pub fn slot_config(&self) -> GpuConfig {
+        if self.sharing == 1 {
+            self.gpu.clone()
+        } else {
+            self.gpu.scaled_to(self.gpu.n_sms / self.sharing)
+        }
+    }
+
+    /// Total SMs across the system.
+    pub fn total_sms(&self) -> u64 {
+        u64::from(self.n_gpus) * u64::from(self.gpu.n_sms)
+    }
+
+    /// Derives the same system at a different GPU count (the multi-GPU
+    /// analogue of [`GpuConfig::scaled_to`]): everything per-GPU is
+    /// unchanged, only the fabric grows.
+    pub fn with_n_gpus(&self, n_gpus: u32) -> Self {
+        Self {
+            n_gpus,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for t in [Topology::Ring, Topology::FullyConnected] {
+            assert_eq!(Topology::parse(t.as_str()), Some(t));
+        }
+        for p in [
+            Placement::FirstTouch,
+            Placement::Interleave,
+            Placement::ReadReplicate,
+        ] {
+            assert_eq!(Placement::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Topology::parse("mesh"), None);
+        assert_eq!(Placement::parse("numa"), None);
+    }
+
+    #[test]
+    fn paper_node_validates() {
+        let cfg = SystemConfig::paper_node(4, 16, MemScale::default());
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_sms(), 64);
+        assert_eq!(cfg.with_n_gpus(8).total_sms(), 128);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let ok = SystemConfig::paper_node(2, 16, MemScale::default());
+        assert!(ok.with_n_gpus(0).validate().is_err());
+        let mut bad = ok.clone();
+        bad.link_gbs = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.page_lines = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.sharing = 3; // does not divide 16
+        assert!(bad.validate().is_err());
+        bad.sharing = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn slot_config_partitions_the_gpu() {
+        let mut cfg = SystemConfig::paper_node(2, 16, MemScale::default());
+        assert_eq!(cfg.slot_config(), cfg.gpu);
+        cfg.sharing = 2;
+        let slot = cfg.slot_config();
+        assert_eq!(slot.n_sms, 8);
+        assert_eq!(slot.llc_bytes_total, cfg.gpu.llc_bytes_total / 2);
+    }
+}

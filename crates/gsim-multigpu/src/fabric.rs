@@ -1,0 +1,246 @@
+//! The inter-GPU fabric: bandwidth-limited links arranged in a topology.
+
+use gsim_noc::BandwidthLink;
+
+use crate::config::{SystemConfig, Topology};
+
+/// Transfers larger than this are split into equal-rate chunks so byte
+/// counts fit the link API; on a work-conserving FIFO link the completion
+/// time of the chunked bulk equals that of one contiguous transfer.
+const CHUNK_BYTES: u64 = 1 << 20;
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricStats {
+    /// Bulk transfers requested (before chunking).
+    pub transfers: u64,
+    /// Bytes moved over all links (each hop counts the bytes again).
+    pub link_bytes: u64,
+    /// Accumulated queueing delay over all links, cycles.
+    pub queue_cycles: f64,
+}
+
+/// The inter-GPU interconnect of a [`SystemConfig`]: per-topology
+/// [`BandwidthLink`]s plus deterministic shortest-path routing.
+///
+/// Local transfers (`src == dst`) are free. Remote transfers charge every
+/// link on the route in order plus a fixed latency per hop, so both
+/// bandwidth pressure (queueing on busy links) and distance (ring hops)
+/// are felt.
+#[derive(Debug, Clone)]
+pub struct GpuFabric {
+    topology: Topology,
+    n: u32,
+    hop_latency: f64,
+    /// `FullyConnected`: `n * n` links indexed `src * n + dst`.
+    /// `Ring`: `2 * n` links indexed `node * 2 + dir` with dir 0 =
+    /// clockwise (to `node + 1`), dir 1 = counter-clockwise.
+    links: Vec<BandwidthLink>,
+    transfers: u64,
+}
+
+impl GpuFabric {
+    /// Builds the fabric for `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let n = cfg.n_gpus;
+        let bytes_per_cycle = cfg.link_gbs / cfg.gpu.sm_clock_ghz;
+        let count = match cfg.topology {
+            Topology::FullyConnected => (n as usize) * (n as usize),
+            Topology::Ring => 2 * n as usize,
+        };
+        Self {
+            topology: cfg.topology,
+            n,
+            hop_latency: f64::from(cfg.link_latency),
+            links: (0..count)
+                .map(|_| BandwidthLink::new(bytes_per_cycle))
+                .collect(),
+            transfers: 0,
+        }
+    }
+
+    /// Number of GPUs the fabric connects.
+    pub fn n_gpus(&self) -> u32 {
+        self.n
+    }
+
+    /// Hops a transfer from `src` to `dst` crosses (0 if local).
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        if src == dst || self.n <= 1 {
+            return 0;
+        }
+        match self.topology {
+            Topology::FullyConnected => 1,
+            Topology::Ring => {
+                let fwd = (dst + self.n - src) % self.n;
+                fwd.min(self.n - fwd)
+            }
+        }
+    }
+
+    /// Submits a bulk transfer of `bytes` from `src` to `dst` at time
+    /// `now` (cycles); returns the arrival time at `dst`. Local transfers
+    /// complete immediately at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is outside the system.
+    pub fn transfer(&mut self, now: f64, src: u32, dst: u32, bytes: u64) -> f64 {
+        assert!(src < self.n && dst < self.n, "GPU index out of range");
+        if src == dst || bytes == 0 {
+            return now;
+        }
+        self.transfers += 1;
+        match self.topology {
+            Topology::FullyConnected => {
+                let idx = (src * self.n + dst) as usize;
+                let done = bulk(&mut self.links[idx], now, bytes);
+                done + self.hop_latency
+            }
+            Topology::Ring => {
+                let fwd = (dst + self.n - src) % self.n;
+                let clockwise = fwd <= self.n - fwd;
+                let hops = fwd.min(self.n - fwd);
+                let mut t = now;
+                let mut node = src;
+                for _ in 0..hops {
+                    let (link, next) = if clockwise {
+                        ((node * 2) as usize, (node + 1) % self.n)
+                    } else {
+                        ((node * 2 + 1) as usize, (node + self.n - 1) % self.n)
+                    };
+                    t = bulk(&mut self.links[link], t, bytes) + self.hop_latency;
+                    node = next;
+                }
+                t
+            }
+        }
+    }
+
+    /// Aggregate statistics over all links.
+    pub fn stats(&self) -> FabricStats {
+        let mut s = FabricStats {
+            transfers: self.transfers,
+            ..FabricStats::default()
+        };
+        for l in &self.links {
+            let ls = l.stats();
+            s.link_bytes += ls.bytes;
+            s.queue_cycles += ls.queue_cycles;
+        }
+        s
+    }
+
+    /// Peak per-link utilisation over `elapsed` cycles.
+    pub fn max_utilization(&self, elapsed: f64) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.utilization(elapsed))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sends `bytes` over one link in bounded chunks; returns the completion
+/// time of the last chunk.
+fn bulk(link: &mut BandwidthLink, now: f64, bytes: u64) -> f64 {
+    let mut t = now;
+    let mut left = bytes;
+    while left > 0 {
+        let chunk = left.min(CHUNK_BYTES) as u32;
+        t = link.transfer(now, chunk);
+        left -= u64::from(chunk);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Placement;
+    use gsim_sim::GpuConfig;
+    use gsim_trace::MemScale;
+
+    fn cfg(n: u32, topology: Topology) -> SystemConfig {
+        SystemConfig {
+            n_gpus: n,
+            gpu: GpuConfig::paper_target(8, MemScale::default()),
+            topology,
+            link_gbs: 100.0,
+            link_latency: 10,
+            placement: Placement::Interleave,
+            page_lines: 16,
+            sharing: 1,
+        }
+    }
+
+    #[test]
+    fn local_transfers_are_free() {
+        let mut f = GpuFabric::new(&cfg(4, Topology::Ring));
+        assert_eq!(f.transfer(5.0, 2, 2, 1 << 30), 5.0);
+        assert_eq!(f.hops(2, 2), 0);
+        assert_eq!(f.stats().transfers, 0);
+    }
+
+    #[test]
+    fn fully_connected_is_always_one_hop() {
+        let mut f = GpuFabric::new(&cfg(8, Topology::FullyConnected));
+        for src in 0..8 {
+            for dst in 0..8 {
+                if src != dst {
+                    assert_eq!(f.hops(src, dst), 1);
+                }
+            }
+        }
+        // 100 B/cycle: 1000 bytes = 10 cycles service + 10 latency.
+        assert_eq!(f.transfer(0.0, 0, 7, 1000), 20.0);
+    }
+
+    #[test]
+    fn ring_routes_the_shorter_arc() {
+        let f = GpuFabric::new(&cfg(8, Topology::Ring));
+        assert_eq!(f.hops(0, 1), 1);
+        assert_eq!(f.hops(0, 4), 4); // diameter
+        assert_eq!(f.hops(0, 7), 1); // wraps counter-clockwise
+        assert_eq!(f.hops(6, 1), 3);
+    }
+
+    #[test]
+    fn ring_charges_every_hop() {
+        let mut f = GpuFabric::new(&cfg(8, Topology::Ring));
+        // 2 hops: each adds 10 cycles service + 10 latency.
+        assert_eq!(f.transfer(0.0, 0, 2, 1000), 40.0);
+        // Distinct pairs on disjoint links don't queue on each other.
+        assert_eq!(f.transfer(0.0, 4, 5, 1000), 20.0);
+        // Reusing a busy link queues behind the first transfer.
+        let second = f.transfer(0.0, 0, 1, 1000);
+        assert!(second > 20.0, "expected queueing, got {second}");
+    }
+
+    #[test]
+    fn chunked_bulk_matches_one_contiguous_transfer() {
+        let mut f = GpuFabric::new(&cfg(2, Topology::FullyConnected));
+        let bytes = 3 * CHUNK_BYTES + 12345;
+        let done = f.transfer(0.0, 0, 1, bytes);
+        let service = bytes as f64 / 100.0;
+        assert!((done - (service + 10.0)).abs() < 1e-6);
+        assert_eq!(f.stats().link_bytes, bytes);
+        assert_eq!(f.stats().transfers, 1);
+    }
+
+    #[test]
+    fn utilization_and_queueing_surface_in_stats() {
+        let mut f = GpuFabric::new(&cfg(2, Topology::Ring));
+        f.transfer(0.0, 0, 1, 1000);
+        f.transfer(0.0, 0, 1, 1000);
+        let s = f.stats();
+        assert!(s.queue_cycles > 0.0);
+        assert!(f.max_utilization(20.0) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_gpu() {
+        let mut f = GpuFabric::new(&cfg(2, Topology::Ring));
+        let _ = f.transfer(0.0, 0, 2, 1);
+    }
+}

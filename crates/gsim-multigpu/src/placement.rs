@@ -1,0 +1,161 @@
+//! Page-granularity data placement across GPUs.
+
+use std::collections::HashMap;
+
+use crate::config::Placement;
+
+/// How one kernel's touched pages split between the executing GPU and
+/// remote owners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageShare {
+    /// Pages the kernel touched in total.
+    pub touched: u64,
+    /// Pages owned by the executing GPU (or replicated locally).
+    pub local: u64,
+    /// `(owner_gpu, pages)` for remotely owned pages, ascending by owner.
+    pub remote: Vec<(u32, u64)>,
+}
+
+/// Per-tenant page-ownership map.
+///
+/// Tenants address disjoint page spaces (their footprints are private), so
+/// each tenant carries its own map. A kernel with a footprint of `F` lines
+/// touches pages `0 .. ceil(F / page_lines)` of its tenant's space —
+/// workload patterns index lines `[0, F)`, so page sets of a tenant's
+/// kernels are nested prefixes and data flows between dependent kernels
+/// through shared pages.
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    policy: Placement,
+    n_gpus: u32,
+    /// Offset rotating the interleave start per tenant so tenants don't
+    /// all camp on GPU 0.
+    offset: u32,
+    /// First-touch owners (also the home for read-replication writes).
+    owners: HashMap<u64, u32>,
+}
+
+impl PageMap {
+    /// Creates the map for one tenant.
+    pub fn new(policy: Placement, n_gpus: u32, tenant_idx: u32) -> Self {
+        assert!(n_gpus > 0, "system needs at least one GPU");
+        Self {
+            policy,
+            n_gpus,
+            offset: tenant_idx % n_gpus,
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Records a kernel running on `gpu` touching pages `0 .. pages` and
+    /// returns how the pages split between local and remote owners.
+    /// First-touch policies assign owners to still-unowned pages here.
+    pub fn touch(&mut self, pages: u64, gpu: u32) -> PageShare {
+        assert!(gpu < self.n_gpus, "GPU index out of range");
+        let mut by_owner: HashMap<u32, u64> = HashMap::new();
+        let mut local = 0u64;
+        for page in 0..pages {
+            let owner = match self.policy {
+                Placement::Interleave => (page + u64::from(self.offset)) as u32 % self.n_gpus,
+                Placement::FirstTouch | Placement::ReadReplicate => {
+                    *self.owners.entry(page).or_insert(gpu)
+                }
+            };
+            if owner == gpu {
+                local += 1;
+            } else {
+                *by_owner.entry(owner).or_insert(0) += 1;
+            }
+        }
+        let mut remote: Vec<(u32, u64)> = by_owner.into_iter().collect();
+        remote.sort_unstable();
+        PageShare {
+            touched: pages,
+            local,
+            remote,
+        }
+    }
+
+    /// Fraction of a kernel's *traffic* that crosses the fabric for a
+    /// given page share: the remote page fraction, further scaled by the
+    /// store share under read replication (reads hit local replicas).
+    pub fn remote_traffic_fraction(&self, share: &PageShare, write_fraction: f64) -> f64 {
+        if share.touched == 0 {
+            return 0.0;
+        }
+        let remote_pages: u64 = share.remote.iter().map(|&(_, p)| p).sum();
+        let page_frac = remote_pages as f64 / share.touched as f64;
+        match self.policy {
+            Placement::ReadReplicate => page_frac * write_fraction.clamp(0.0, 1.0),
+            _ => page_frac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_spreads_pages_evenly() {
+        let mut m = PageMap::new(Placement::Interleave, 4, 0);
+        let share = m.touch(100, 0);
+        assert_eq!(share.touched, 100);
+        assert_eq!(share.local, 25);
+        assert_eq!(share.remote.iter().map(|&(_, p)| p).sum::<u64>(), 75);
+        assert_eq!(share.remote.len(), 3);
+        // The tenant offset rotates ownership: with a page count that is
+        // not a multiple of the GPU count, the per-owner split shifts.
+        let mut m0 = PageMap::new(Placement::Interleave, 4, 0);
+        let mut m1 = PageMap::new(Placement::Interleave, 4, 1);
+        let s0 = m0.touch(5, 0);
+        let s1 = m1.touch(5, 0);
+        assert_eq!(s0.local, 2); // pages 0 and 4
+        assert_eq!(s1.local, 1); // page 3 only
+        assert_ne!(s0.remote, s1.remote);
+    }
+
+    #[test]
+    fn first_touch_pins_pages_to_the_first_gpu() {
+        let mut m = PageMap::new(Placement::FirstTouch, 4, 0);
+        let first = m.touch(50, 2);
+        assert_eq!(first.local, 50);
+        assert!(first.remote.is_empty());
+        // A later kernel on another GPU finds everything remote at GPU 2,
+        // plus newly touched pages local to itself.
+        let second = m.touch(80, 1);
+        assert_eq!(second.local, 30);
+        assert_eq!(second.remote, vec![(2, 50)]);
+    }
+
+    #[test]
+    fn replication_charges_only_the_store_share() {
+        let mut m = PageMap::new(Placement::ReadReplicate, 2, 0);
+        m.touch(40, 0);
+        let share = m.touch(40, 1); // all 40 pages owned by GPU 0
+        assert_eq!(share.remote, vec![(0, 40)]);
+        let f = m.remote_traffic_fraction(&share, 0.25);
+        assert!((f - 0.25).abs() < 1e-12);
+        // First-touch charges the full remote fraction instead.
+        let mut ft = PageMap::new(Placement::FirstTouch, 2, 0);
+        ft.touch(40, 0);
+        let s = ft.touch(40, 1);
+        assert_eq!(ft.remote_traffic_fraction(&s, 0.25), 1.0);
+    }
+
+    #[test]
+    fn empty_touch_is_harmless() {
+        let mut m = PageMap::new(Placement::Interleave, 2, 0);
+        let share = m.touch(0, 0);
+        assert_eq!(share.touched, 0);
+        assert_eq!(m.remote_traffic_fraction(&share, 1.0), 0.0);
+    }
+
+    #[test]
+    fn single_gpu_is_always_local() {
+        let mut m = PageMap::new(Placement::Interleave, 1, 0);
+        let share = m.touch(64, 0);
+        assert_eq!(share.local, 64);
+        assert!(share.remote.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Scale-model validation at the system level: fit the five predictors on
+//! small GPU counts, forecast large ones, and compare against actual
+//! multi-GPU runs.
+//!
+//! This is the paper's methodology transplanted one level up: the
+//! "system size" axis is the GPU count instead of the SM count, and the
+//! observations come from whole-system runs (multi-tenant DAG scheduling
+//! plus fabric contention) instead of single-package simulations. GPU
+//! counts are weak-scaling-like for the predictor ladder — there is no
+//! per-size LLC miss-rate curve to consult — so the fit runs without an
+//! MRC, exactly like the weak-scaling pipeline.
+
+use gsim_core::plan::{observation_of, Fit};
+use gsim_core::{ModelError, Observation};
+
+use crate::config::SystemConfig;
+use crate::system::{SystemSim, Tenant};
+
+/// One method's forecast at one target GPU count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodResult {
+    /// Method name ("scale-model", "proportional", …).
+    pub method: &'static str,
+    /// Predicted system IPC.
+    pub predicted_ipc: f64,
+    /// Signed percent error against the actual run.
+    pub pct_error: f64,
+}
+
+/// Forecasts versus the actual run at one target GPU count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetResult {
+    /// Target GPU count.
+    pub n_gpus: u32,
+    /// Sustained system IPC of the actual multi-GPU run.
+    pub actual_ipc: f64,
+    /// All five methods, in predictor-roster order.
+    pub methods: Vec<MethodResult>,
+}
+
+/// The complete validation experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// The two GPU counts the predictors were fitted on.
+    pub fit_sizes: (u32, u32),
+    /// The scale-model observations, small then large.
+    pub observations: (Observation, Observation),
+    /// One row per forecast target, in request order.
+    pub targets: Vec<TargetResult>,
+}
+
+impl ValidationReport {
+    /// Absolute percent error of `method` at each target, if present.
+    pub fn errors_of(&self, method: &str) -> Vec<f64> {
+        self.targets
+            .iter()
+            .filter_map(|t| {
+                t.methods
+                    .iter()
+                    .find(|m| m.method == method)
+                    .map(|m| m.pct_error.abs())
+            })
+            .collect()
+    }
+}
+
+/// Runs the validation experiment: simulates `base` at the two `fit`
+/// GPU counts, fits the five predictors on those observations, forecasts
+/// every count in `targets`, then simulates each target for ground truth.
+///
+/// # Errors
+///
+/// Returns an error if the fit observations are degenerate or a target is
+/// not `fit.1` times a power of two (the predictor ladder's doubling
+/// rule).
+///
+/// # Panics
+///
+/// Panics if `base` is invalid for any requested GPU count or `tenants`
+/// is empty (see [`SystemSim::new`]).
+pub fn validate_scaling(
+    base: &SystemConfig,
+    tenants: &[Tenant],
+    fit: (u32, u32),
+    targets: &[u32],
+) -> Result<ValidationReport, ModelError> {
+    let run = |n_gpus: u32| {
+        SystemSim::new(base.with_n_gpus(n_gpus), tenants)
+            .run()
+            .stats
+    };
+    let small = observation_of(fit.0, &run(fit.0));
+    let large = observation_of(fit.1, &run(fit.1));
+    // GPU-count scaling has no per-size miss-rate curve: every doubling is
+    // treated as pre-cliff, the weak-scaling mode of the fit.
+    let forecast = Fit::new(small, large, None)?.forecast(targets)?;
+    let mut rows = Vec::with_capacity(targets.len());
+    for tf in forecast.targets {
+        let actual = run(tf.target).sustained_ipc();
+        let methods = tf
+            .by_method
+            .iter()
+            .map(|m| MethodResult {
+                method: m.method,
+                predicted_ipc: m.predicted_ipc,
+                pct_error: if actual > 0.0 {
+                    (m.predicted_ipc - actual) / actual * 100.0
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        rows.push(TargetResult {
+            n_gpus: tf.target,
+            actual_ipc: actual,
+            methods,
+        });
+    }
+    Ok(ValidationReport {
+        fit_sizes: fit,
+        observations: (small, large),
+        targets: rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_trace::{DagParams, MemScale};
+
+    fn tiny_tenants() -> Vec<Tenant> {
+        let params = DagParams {
+            n_kernels: 3,
+            max_ctas: 16,
+            min_footprint_lines: 1 << 9,
+            max_footprint_lines: 1 << 11,
+            ..DagParams::default()
+        };
+        (0..3)
+            .map(|i| Tenant::generate(format!("t{i}"), 40 + i, &params))
+            .collect()
+    }
+
+    #[test]
+    fn smoke_validation_fits_2_gpus_and_forecasts_4() {
+        let base = SystemConfig::paper_node(1, 8, MemScale::default());
+        let report =
+            validate_scaling(&base, &tiny_tenants(), (1, 2), &[4]).expect("validation runs");
+        assert_eq!(report.fit_sizes, (1, 2));
+        assert_eq!(report.targets.len(), 1);
+        let row = &report.targets[0];
+        assert_eq!(row.n_gpus, 4);
+        assert!(row.actual_ipc > 0.0);
+        assert_eq!(row.methods.len(), 5, "all five predictors report");
+        assert!(row.methods.iter().any(|m| m.method == "scale-model"));
+        for m in &row.methods {
+            assert!(
+                m.predicted_ipc.is_finite() && m.pct_error.is_finite(),
+                "{} produced a non-finite result",
+                m.method
+            );
+        }
+    }
+
+    #[test]
+    fn non_doubling_target_is_rejected() {
+        let base = SystemConfig::paper_node(1, 8, MemScale::default());
+        assert!(validate_scaling(&base, &tiny_tenants(), (1, 2), &[6]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The multi-GPU determinism contract (DESIGN.md §16): aggregate
+//! `SimStats` must be bit-identical across `sim_threads` for every
+//! topology × placement combination, the same contract the single-package
+//! engine honours (§10/§15).
+
+use gsim_multigpu::{Placement, SystemConfig, SystemSim, Tenant, Topology};
+use gsim_trace::{DagParams, MemScale};
+
+fn tenants() -> Vec<Tenant> {
+    let params = DagParams {
+        n_kernels: 4,
+        max_ctas: 24,
+        min_footprint_lines: 1 << 10,
+        max_footprint_lines: 1 << 12,
+        ..DagParams::default()
+    };
+    (0..2)
+        .map(|i| Tenant::generate(format!("tenant{i}"), 7 + i, &params))
+        .collect()
+}
+
+fn run(cfg: &SystemConfig, sim_threads: u32, tenants: &[Tenant]) -> gsim_sim::SimStats {
+    let mut cfg = cfg.clone();
+    cfg.gpu.sim_threads = sim_threads;
+    SystemSim::new(cfg, tenants).run().stats
+}
+
+#[test]
+fn multi_gpu_stats_are_thread_invariant_across_topologies_and_placements() {
+    let ts = tenants();
+    for topology in [Topology::Ring, Topology::FullyConnected] {
+        for placement in [Placement::FirstTouch, Placement::Interleave] {
+            let mut cfg = SystemConfig::paper_node(2, 8, MemScale::default());
+            cfg.topology = topology;
+            cfg.placement = placement;
+            let serial = run(&cfg, 1, &ts);
+            for threads in [2, 4] {
+                let parallel = run(&cfg, threads, &ts);
+                serial.assert_deterministic_eq(&parallel);
+            }
+        }
+    }
+}
+
+#[test]
+fn four_gpu_sharing_run_is_thread_invariant() {
+    let ts = tenants();
+    let mut cfg = SystemConfig::paper_node(4, 8, MemScale::default());
+    cfg.sharing = 2;
+    cfg.placement = Placement::ReadReplicate;
+    let serial = run(&cfg, 1, &ts);
+    let parallel = run(&cfg, 4, &ts);
+    serial.assert_deterministic_eq(&parallel);
+    assert!(serial.cycles > 0);
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let ts = tenants();
+    let cfg = SystemConfig::paper_node(2, 8, MemScale::default());
+    let a = run(&cfg, 2, &ts);
+    let b = run(&cfg, 2, &ts);
+    a.assert_deterministic_eq(&b);
+}
+
+/// Randomized soak: random tenant mixes and system shapes, each checked
+/// for thread invariance.
+#[test]
+#[cfg_attr(
+    not(feature = "ext-tests"),
+    ignore = "enable with --features ext-tests"
+)]
+fn randomized_system_determinism_soak() {
+    use gsim_rng::Rng64;
+    let mut rng = Rng64::seed_from_u64(0x5EED_50AC);
+    for case in 0..10 {
+        let params = DagParams {
+            n_kernels: rng.gen_range_inclusive(2, 6) as u32,
+            max_fanin: rng.gen_range_inclusive(1, 3) as u32,
+            max_ctas: rng.gen_range_inclusive(8, 32) as u32,
+            min_footprint_lines: 1 << 9,
+            max_footprint_lines: 1 << rng.gen_range_inclusive(10, 13),
+            ..DagParams::default()
+        };
+        let ts: Vec<Tenant> = (0..rng.gen_range_inclusive(1, 3))
+            .map(|i| Tenant::generate(format!("s{case}t{i}"), rng.next_u64(), &params))
+            .collect();
+        let mut cfg =
+            SystemConfig::paper_node(rng.gen_range_inclusive(2, 4) as u32, 8, MemScale::default());
+        cfg.topology = if rng.gen_bool(0.5) {
+            Topology::Ring
+        } else {
+            Topology::FullyConnected
+        };
+        cfg.placement = match rng.gen_range(0, 3) {
+            0 => Placement::FirstTouch,
+            1 => Placement::Interleave,
+            _ => Placement::ReadReplicate,
+        };
+        let serial = run(&cfg, 1, &ts);
+        let parallel = run(&cfg, rng.gen_range_inclusive(2, 4) as u32, &ts);
+        serial.assert_deterministic_eq(&parallel);
+    }
+}

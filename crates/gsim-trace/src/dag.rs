@@ -1,0 +1,398 @@
+//! Kernel-dependency DAG workloads.
+//!
+//! A plain [`Workload`] is a totally ordered kernel sequence with an
+//! implicit barrier between kernels. Multi-GPU and multi-tenant schedulers
+//! need something weaker: a *partial* order in which independent kernels
+//! may run concurrently on different devices. [`DagWorkload`] wraps a
+//! [`Workload`] with an explicit dependency DAG over its kernels, encoded
+//! so that topological legality holds by construction: kernel `i` may only
+//! depend on kernels with index `< i`, which makes the kernel order of the
+//! underlying workload one valid topological order and rules out cycles
+//! without any graph search.
+//!
+//! [`DagWorkload::generate`] builds deterministic random DAG workloads from
+//! a seed — grids, footprints, access patterns, and edges all derive from
+//! one [`Rng64`] stream, so the same seed always yields the same workload.
+
+use gsim_rng::Rng64;
+
+use crate::kernel::{Kernel, Workload};
+use crate::pattern::{PatternKind, PatternSpec};
+
+/// Parameters for [`DagWorkload::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagParams {
+    /// Number of kernels in the DAG.
+    pub n_kernels: u32,
+    /// Maximum predecessors drawn per kernel (actual fan-in may be lower
+    /// after deduplication, and is additionally capped by the kernel's
+    /// index).
+    pub max_fanin: u32,
+    /// Probability that each candidate predecessor edge is taken.
+    pub edge_prob: f64,
+    /// Smallest CTA grid a kernel may launch.
+    pub min_ctas: u32,
+    /// Largest CTA grid a kernel may launch.
+    pub max_ctas: u32,
+    /// Threads per CTA for every kernel.
+    pub threads_per_cta: u32,
+    /// Smallest per-kernel footprint in 128 B lines.
+    pub min_footprint_lines: u64,
+    /// Largest per-kernel footprint in 128 B lines.
+    pub max_footprint_lines: u64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        Self {
+            n_kernels: 8,
+            max_fanin: 2,
+            edge_prob: 0.6,
+            min_ctas: 16,
+            max_ctas: 96,
+            threads_per_cta: 256,
+            min_footprint_lines: 1 << 12,
+            max_footprint_lines: 1 << 15,
+        }
+    }
+}
+
+/// A workload whose kernels form a dependency DAG instead of a chain.
+///
+/// `deps[i]` lists the kernels that must complete before kernel `i` may
+/// start; every entry is strictly less than `i`, so the underlying
+/// workload's kernel order is always one legal topological order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagWorkload {
+    workload: Workload,
+    deps: Vec<Vec<u32>>,
+}
+
+impl DagWorkload {
+    /// Wraps `workload` with an explicit dependency DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deps.len()` differs from the kernel count, or if any
+    /// `deps[i]` is not sorted, contains duplicates, or references a kernel
+    /// with index `>= i`.
+    pub fn new(workload: Workload, deps: Vec<Vec<u32>>) -> Self {
+        assert_eq!(
+            deps.len(),
+            workload.kernels().len(),
+            "one dependency list per kernel"
+        );
+        for (i, d) in deps.iter().enumerate() {
+            for (j, &p) in d.iter().enumerate() {
+                assert!(
+                    (p as usize) < i,
+                    "kernel {i} depends on kernel {p}, which does not precede it"
+                );
+                if j > 0 {
+                    assert!(d[j - 1] < p, "deps of kernel {i} must be sorted and unique");
+                }
+            }
+        }
+        Self { workload, deps }
+    }
+
+    /// Wraps `workload` as a linear chain: kernel `i` depends on `i - 1`,
+    /// reproducing the implicit-barrier semantics of a plain workload.
+    pub fn chain(workload: Workload) -> Self {
+        let deps = (0..workload.kernels().len())
+            .map(|i| if i == 0 { vec![] } else { vec![i as u32 - 1] })
+            .collect();
+        Self::new(workload, deps)
+    }
+
+    /// Generates a deterministic random DAG workload from `seed`.
+    ///
+    /// All structure — per-kernel grids, footprints, access-pattern
+    /// families, arithmetic intensity, store fractions, and dependency
+    /// edges — derives from a single seeded RNG stream, so equal
+    /// `(name, seed, params)` always produce equal workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is malformed (zero kernels, empty ranges,
+    /// probability outside `[0, 1]`, or threads per CTA outside
+    /// `1..=1024`).
+    pub fn generate(name: impl Into<String>, seed: u64, params: &DagParams) -> Self {
+        assert!(params.n_kernels > 0, "DAG needs at least one kernel");
+        assert!(
+            (0.0..=1.0).contains(&params.edge_prob),
+            "edge probability must be in [0,1]"
+        );
+        assert!(
+            params.min_ctas >= 1 && params.min_ctas <= params.max_ctas,
+            "CTA range must be non-empty"
+        );
+        assert!(
+            params.min_footprint_lines >= 1
+                && params.min_footprint_lines <= params.max_footprint_lines,
+            "footprint range must be non-empty"
+        );
+        assert!(
+            (1..=1024).contains(&params.threads_per_cta),
+            "threads per CTA must be in 1..=1024"
+        );
+        let name = name.into();
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xDA61_DA61_DA61_DA61);
+        let mut kernels = Vec::with_capacity(params.n_kernels as usize);
+        let mut deps = Vec::with_capacity(params.n_kernels as usize);
+        for i in 0..params.n_kernels {
+            let footprint =
+                rng.gen_range_inclusive(params.min_footprint_lines, params.max_footprint_lines);
+            let kind = match rng.gen_range(0, 4) {
+                0 => PatternKind::GlobalSweep {
+                    passes: rng.gen_range_inclusive(1, 4) as u32,
+                },
+                1 => PatternKind::Streaming,
+                2 => PatternKind::Tiled {
+                    tile_lines: rng.gen_range_inclusive(4, 32),
+                    reuses: rng.gen_range_inclusive(2, 6) as u32,
+                },
+                _ => PatternKind::PointerChase,
+            };
+            let spec = PatternSpec::new(kind, footprint)
+                .mem_ops_per_warp(rng.gen_range_inclusive(32, 128) as u32)
+                .compute_per_mem(0.5 + rng.next_f64() * 3.5)
+                .write_frac(rng.gen_range(0, 4) as f64 * 0.1);
+            let ctas =
+                rng.gen_range_inclusive(u64::from(params.min_ctas), u64::from(params.max_ctas));
+            kernels.push(Kernel::new(
+                format!("{name}.k{i}"),
+                ctas as u32,
+                params.threads_per_cta,
+                spec,
+            ));
+            let mut d: Vec<u32> = Vec::new();
+            for _ in 0..params.max_fanin.min(i) {
+                if rng.gen_bool(params.edge_prob) {
+                    d.push(rng.gen_range(0, u64::from(i)) as u32);
+                }
+            }
+            d.sort_unstable();
+            d.dedup();
+            deps.push(d);
+        }
+        Self::new(Workload::new(name, seed, kernels), deps)
+    }
+
+    /// The underlying kernel sequence (one valid topological order).
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Number of kernels in the DAG.
+    pub fn n_kernels(&self) -> u32 {
+        self.workload.kernels().len() as u32
+    }
+
+    /// Kernels that must complete before kernel `k` may start.
+    pub fn deps_of(&self, k: u32) -> &[u32] {
+        &self.deps[k as usize]
+    }
+
+    /// All dependency lists, indexed by kernel.
+    pub fn deps(&self) -> &[Vec<u32>] {
+        &self.deps
+    }
+
+    /// Total dependency edges in the DAG.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Whether `order` is a legal topological execution order: a
+    /// permutation of all kernels in which every kernel appears after all
+    /// of its dependencies.
+    pub fn is_topological(&self, order: &[u32]) -> bool {
+        let n = self.deps.len();
+        if order.len() != n {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (at, &k) in order.iter().enumerate() {
+            let Some(slot) = pos.get_mut(k as usize) else {
+                return false;
+            };
+            if *slot != usize::MAX {
+                return false;
+            }
+            *slot = at;
+        }
+        self.deps
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.iter().all(|&p| pos[p as usize] < pos[i]))
+    }
+
+    /// Kernels whose dependencies are all satisfied but which are not yet
+    /// done, given a per-kernel completion mask.
+    pub fn ready(&self, done: &[bool]) -> Vec<u32> {
+        assert_eq!(done.len(), self.deps.len(), "one done flag per kernel");
+        (0..self.deps.len() as u32)
+            .filter(|&k| {
+                !done[k as usize] && self.deps[k as usize].iter().all(|&p| done[p as usize])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_deps_are_topologically_legal() {
+        let dag = DagWorkload::generate("t", 42, &DagParams::default());
+        for (i, d) in dag.deps().iter().enumerate() {
+            for &p in d {
+                assert!((p as usize) < i, "edge {p} -> {i} violates index order");
+            }
+        }
+        let identity: Vec<u32> = (0..dag.n_kernels()).collect();
+        assert!(dag.is_topological(&identity));
+    }
+
+    #[test]
+    fn reversed_order_is_illegal_when_edges_exist() {
+        // High edge probability so the DAG is guaranteed non-trivial.
+        let params = DagParams {
+            edge_prob: 1.0,
+            ..DagParams::default()
+        };
+        let dag = DagWorkload::generate("t", 7, &params);
+        assert!(dag.edge_count() > 0);
+        let reversed: Vec<u32> = (0..dag.n_kernels()).rev().collect();
+        assert!(!dag.is_topological(&reversed));
+        // Non-permutations are rejected too.
+        assert!(!dag.is_topological(&[0, 0, 1]));
+        assert!(!dag.is_topological(&[0]));
+    }
+
+    #[test]
+    fn generation_is_deterministic_from_seed() {
+        let p = DagParams::default();
+        let a = DagWorkload::generate("t", 1234, &p);
+        let b = DagWorkload::generate("t", 1234, &p);
+        assert_eq!(a, b);
+        let c = DagWorkload::generate("t", 1235, &p);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn chain_reproduces_barrier_semantics() {
+        let dag = DagWorkload::generate("t", 9, &DagParams::default());
+        let chain = DagWorkload::chain(dag.workload().clone());
+        for (i, d) in chain.deps().iter().enumerate() {
+            if i == 0 {
+                assert!(d.is_empty());
+            } else {
+                assert_eq!(d, &[i as u32 - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn ready_respects_dependencies() {
+        let wl = DagWorkload::generate("t", 3, &DagParams::default())
+            .workload()
+            .clone();
+        // 0 and 1 are roots; 2 needs 0; 3 needs 1 and 2.
+        let dag = DagWorkload::new(wl.clone(), {
+            let mut d = vec![vec![], vec![], vec![0], vec![1, 2]];
+            d.extend((4..wl.kernels().len()).map(|_| vec![]));
+            d
+        });
+        let n = wl.kernels().len();
+        let mut done = vec![false; n];
+        let ready = dag.ready(&done);
+        assert!(ready.contains(&0) && ready.contains(&1));
+        assert!(!ready.contains(&2) && !ready.contains(&3));
+        done[0] = true;
+        done[1] = true;
+        let ready = dag.ready(&done);
+        assert!(ready.contains(&2) && !ready.contains(&3));
+        done[2] = true;
+        assert!(dag.ready(&done).contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn rejects_forward_dependency() {
+        let wl = DagWorkload::generate("t", 5, &DagParams::default())
+            .workload()
+            .clone();
+        let mut deps: Vec<Vec<u32>> = (0..wl.kernels().len()).map(|_| vec![]).collect();
+        deps[1] = vec![2];
+        let _ = DagWorkload::new(wl, deps);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn rejects_duplicate_dependency() {
+        let wl = DagWorkload::generate("t", 5, &DagParams::default())
+            .workload()
+            .clone();
+        let mut deps: Vec<Vec<u32>> = (0..wl.kernels().len()).map(|_| vec![]).collect();
+        deps[2] = vec![1, 1];
+        let _ = DagWorkload::new(wl, deps);
+    }
+
+    /// Randomized soak: many seeds and parameter shapes, checking legality
+    /// and determinism invariants on every generated DAG.
+    #[test]
+    #[cfg_attr(
+        not(feature = "ext-tests"),
+        ignore = "enable with --features ext-tests"
+    )]
+    fn randomized_dag_soak() {
+        let mut rng = Rng64::seed_from_u64(0xDA6_50AC);
+        for case in 0..200 {
+            let params = DagParams {
+                n_kernels: rng.gen_range_inclusive(1, 24) as u32,
+                max_fanin: rng.gen_range(0, 5) as u32,
+                edge_prob: rng.next_f64(),
+                min_ctas: 1,
+                max_ctas: rng.gen_range_inclusive(1, 64) as u32,
+                threads_per_cta: rng.gen_range_inclusive(32, 512) as u32,
+                min_footprint_lines: 64,
+                max_footprint_lines: rng.gen_range_inclusive(64, 1 << 16),
+            };
+            let seed = rng.next_u64();
+            let dag = DagWorkload::generate(format!("soak{case}"), seed, &params);
+            assert_eq!(
+                dag,
+                DagWorkload::generate(format!("soak{case}"), seed, &params),
+                "case {case}: generation must be deterministic"
+            );
+            assert_eq!(dag.n_kernels(), params.n_kernels);
+            let identity: Vec<u32> = (0..dag.n_kernels()).collect();
+            assert!(dag.is_topological(&identity), "case {case}");
+            for (i, d) in dag.deps().iter().enumerate() {
+                assert!(d.len() <= params.max_fanin as usize, "case {case}");
+                for (j, &p) in d.iter().enumerate() {
+                    assert!((p as usize) < i, "case {case}");
+                    if j > 0 {
+                        assert!(d[j - 1] < p, "case {case}");
+                    }
+                }
+            }
+            // Draining the ready set in order visits every kernel exactly
+            // once and yields a topological order.
+            let mut done = vec![false; dag.n_kernels() as usize];
+            let mut order = Vec::new();
+            while order.len() < done.len() {
+                let ready = dag.ready(&done);
+                assert!(!ready.is_empty(), "case {case}: DAG stalled");
+                for k in ready {
+                    done[k as usize] = true;
+                    order.push(k);
+                }
+            }
+            assert!(dag.is_topological(&order), "case {case}");
+        }
+    }
+}

@@ -180,6 +180,11 @@ impl PatternSpec {
         self.compute_per_mem
     }
 
+    /// Fraction of memory ops that are stores.
+    pub fn write_fraction(&self) -> f64 {
+        self.write_frac
+    }
+
     /// The shared hot set, if configured.
     pub fn hot(&self) -> Option<SharedHotSpec> {
         self.shared_hot
